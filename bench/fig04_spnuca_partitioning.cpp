@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 4 reproduction: SP-NUCA dynamic way partitioning — flat LRU
+ * normalized against shadow tags and a static 12/4 partition, over the
+ * NPB suite and the transactional workloads.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace espnuca;
+
+int
+main()
+{
+    const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
+    printHeader("Figure 4: SP-NUCA flat-LRU vs shadow tags vs static "
+                "12/4 partition (normalized to shadow tags)",
+                cfg);
+
+    std::vector<std::string> workloads = npbWorkloads();
+    for (const auto &w : transactionalWorkloads())
+        workloads.push_back(w);
+
+    std::printf("%-8s %10s %10s %10s\n", "wload", "sp-nuca", "static",
+                "shadow");
+    std::vector<double> flat_all, static_all;
+    for (const auto &w : workloads) {
+        const double shadow =
+            runPoint(cfg, "sp-nuca-shadow", w).throughput.mean();
+        const double flat =
+            runPoint(cfg, "sp-nuca", w).throughput.mean() / shadow;
+        const double stat =
+            runPoint(cfg, "sp-nuca-static", w).throughput.mean() /
+            shadow;
+        std::printf("%-8s %10.3f %10.3f %10.3f\n", w.c_str(), flat, stat,
+                    1.0);
+        flat_all.push_back(flat);
+        static_all.push_back(stat);
+    }
+    std::printf("%-8s %10.3f %10.3f %10.3f\n", "GMEAN",
+                geomean(flat_all), geomean(static_all), 1.0);
+    std::printf("\npaper shape: flat-LRU degradation vs shadow tags is "
+                "minimal; the static\npartition clearly trails both.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 5 reproduction: ESP-NUCA replacement policies (flat LRU vs
+ * protected LRU) normalized against SP-NUCA, over NPB + transactional.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace espnuca;
+
+int
+main()
+{
+    const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
+    printHeader("Figure 5: ESP-NUCA flat-LRU vs protected-LRU, "
+                "normalized to SP-NUCA",
+                cfg);
+
+    std::vector<std::string> workloads = npbWorkloads();
+    for (const auto &w : transactionalWorkloads())
+        workloads.push_back(w);
+
+    std::printf("%-8s %10s %12s\n", "wload", "flat-lru", "protected");
+    std::vector<double> flat_all, prot_all;
+    for (const auto &w : workloads) {
+        const double sp = runPoint(cfg, "sp-nuca", w).throughput.mean();
+        const double flat =
+            runPoint(cfg, "esp-nuca-flat", w).throughput.mean() / sp;
+        const double prot =
+            runPoint(cfg, "esp-nuca", w).throughput.mean() / sp;
+        std::printf("%-8s %10.3f %12.3f\n", w.c_str(), flat, prot);
+        flat_all.push_back(flat);
+        prot_all.push_back(prot);
+    }
+    std::printf("%-8s %10.3f %12.3f\n", "GMEAN", geomean(flat_all),
+                geomean(prot_all));
+    std::printf("\npaper shape: both beat SP-NUCA; protected LRU is "
+                "more stable (notably on\ntransactional workloads) and "
+                "at least matches flat LRU overall.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10 reproduction: shared-normalized performance over the NAS
+ * Parallel Benchmarks plus the geometric mean.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness/experiment.hpp"
+
+using namespace espnuca;
+
+int
+main()
+{
+    const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
+    printHeader("Figure 10: NAS Parallel Benchmarks, performance "
+                "normalized to Shared",
+                cfg);
+
+    const std::vector<std::string> archs = {"shared", "private", "d-nuca",
+                                            "asr", "esp-nuca"};
+    const std::vector<std::string> workloads = npbWorkloads();
+
+    std::printf("%-6s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",
+                "private", "d-nuca", "asr", "cc-avg", "esp-nuca");
+
+    std::map<std::string, std::vector<double>> norm;
+    for (const auto &w : workloads) {
+        const double shared_perf =
+            runPoint(cfg, "shared", w).throughput.mean();
+        std::map<std::string, double> row;
+        for (const auto &a : archs)
+            row[a] = (a == "shared")
+                         ? 1.0
+                         : runPoint(cfg, a, w).throughput.mean() /
+                               shared_perf;
+        double cc_sum = 0.0;
+        for (const auto &a : ccVariants())
+            cc_sum +=
+                runPoint(cfg, a, w).throughput.mean() / shared_perf;
+        row["cc-avg"] = cc_sum / 4.0;
+        std::printf("%-6s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                    w.c_str(), row["shared"], row["private"],
+                    row["d-nuca"], row["asr"], row["cc-avg"],
+                    row["esp-nuca"]);
+        for (const auto &[k, v] : row)
+            norm[k].push_back(v);
+    }
+    std::printf("%-6s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", "GMEAN",
+                geomean(norm["shared"]), geomean(norm["private"]),
+                geomean(norm["d-nuca"]), geomean(norm["asr"]),
+                geomean(norm["cc-avg"]), geomean(norm["esp-nuca"]));
+    std::printf("\npaper shape: private-derived architectures lead "
+                "(limited sharing,\nlatency-sensitive); ESP-NUCA is the "
+                "only shared derivative keeping up;\nshared and D-NUCA "
+                "trail.\n");
+    return 0;
+}

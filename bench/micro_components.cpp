@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): the hot paths of the
+ * simulator — bank lookup, protected-LRU victim selection, EMA update,
+ * mesh routing, generator throughput, event queue.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/cache_bank.hpp"
+#include "cache/hit_rate_monitor.hpp"
+#include "common/rng.hpp"
+#include "harness/system.hpp"
+#include "net/mesh.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/ema.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace {
+
+using namespace espnuca;
+
+void
+BM_EmaRecord(benchmark::State &state)
+{
+    ShiftEma e(8, 1);
+    bool hit = false;
+    for (auto _ : state) {
+        e.record(hit);
+        hit = !hit;
+        benchmark::DoNotOptimize(e.raw());
+    }
+}
+BENCHMARK(BM_EmaRecord);
+
+void
+BM_CacheSetFind(benchmark::State &state)
+{
+    CacheSet s(16);
+    for (int i = 0; i < 16; ++i) {
+        s.way(i).addr = 0x1000 + i * 0x40;
+        s.way(i).valid = true;
+        s.way(i).cls = i % 2 ? BlockClass::Private : BlockClass::Shared;
+    }
+    Addr probe = 0x1000;
+    for (auto _ : state) {
+        const int w = s.find(probe, [](const BlockMeta &m) {
+            return m.cls == BlockClass::Private;
+        });
+        benchmark::DoNotOptimize(w);
+        probe += 0x40;
+        if (probe >= 0x1000 + 16 * 0x40)
+            probe = 0x1000;
+    }
+}
+BENCHMARK(BM_CacheSetFind);
+
+void
+BM_ProtectedLruChoose(benchmark::State &state)
+{
+    CacheSet s(16);
+    for (int i = 0; i < 16; ++i) {
+        s.way(i).addr = 0x1000 + i * 0x40;
+        s.way(i).valid = true;
+        s.way(i).cls =
+            i < 4 ? BlockClass::Replica : BlockClass::Private;
+        s.touch(i);
+    }
+    ProtectedLru p;
+    ReplacementContext ctx;
+    ctx.category = SetCategory::Conventional;
+    ctx.nmax = 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            p.chooseWay(s, BlockClass::Replica, ctx));
+    }
+}
+BENCHMARK(BM_ProtectedLruChoose);
+
+void
+BM_BankInsert(benchmark::State &state)
+{
+    SystemConfig cfg;
+    CacheBank bank(cfg, 0, std::make_shared<FlatLru>(), false);
+    Rng rng(1);
+    BlockMeta m;
+    m.valid = true;
+    m.cls = BlockClass::Private;
+    for (auto _ : state) {
+        m.addr = rng.next() << 6;
+        benchmark::DoNotOptimize(
+            bank.insert(static_cast<std::uint32_t>(rng.below(256)), m));
+    }
+}
+BENCHMARK(BM_BankInsert);
+
+void
+BM_MeshDelivery(benchmark::State &state)
+{
+    SystemConfig cfg;
+    Topology topo(cfg);
+    EventQueue eq;
+    Mesh mesh(topo, eq);
+    Rng rng(2);
+    for (auto _ : state) {
+        const NodeId a = static_cast<NodeId>(rng.below(12));
+        const NodeId b = static_cast<NodeId>(rng.below(12));
+        benchmark::DoNotOptimize(mesh.deliveryTime(a, b, 72, 0));
+    }
+}
+BENCHMARK(BM_MeshDelivery);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t x = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<Cycle>(i % 7), [&x]() { ++x; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_TraceGenerator(benchmark::State &state)
+{
+    SystemConfig cfg;
+    StreamParams p;
+    p.ops = ~0ULL;
+    p.hotBytes = 1 << 20;
+    p.sharedBytes = 1 << 20;
+    p.sharedFraction = 0.3;
+    p.coldBytes = 4 << 20;
+    p.coldFraction = 0.2;
+    SyntheticSource src(cfg, p, 3);
+    TraceOp op;
+    for (auto _ : state) {
+        src.next(op);
+        benchmark::DoNotOptimize(op.addr);
+    }
+}
+BENCHMARK(BM_TraceGenerator);
+
+void
+BM_FullSystemSmall(benchmark::State &state)
+{
+    SystemConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulate(cfg, "esp-nuca", "apache", 1000, 1).cycles);
+    }
+}
+BENCHMARK(BM_FullSystemSmall)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 5.2 sensitivity analysis: sweep the monitor constants
+ * (a = EMA shift, b = EMA width, d = tolerated degradation, update
+ * period) around the paper's chosen configuration (b=8, a=1, d=3) and
+ * report ESP-NUCA performance on representative workloads.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace espnuca;
+
+namespace {
+
+double
+espPerf(ExperimentConfig cfg, const std::string &w)
+{
+    return runPoint(cfg, "esp-nuca", w).throughput.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentConfig cfg = ExperimentConfig::fromEnv(60'000, 2);
+    printHeader("Sensitivity: ESP-NUCA monitor constants (paper 5.2; "
+                "chosen b=8, a=1, d=3)",
+                cfg);
+
+    const std::vector<std::string> workloads = {"apache", "CG", "mcf-4"};
+
+    // Baseline with the paper constants.
+    std::map<std::string, double> base;
+    for (const auto &w : workloads)
+        base[w] = espPerf(cfg, w);
+
+    std::printf("%-22s", "config");
+    for (const auto &w : workloads)
+        std::printf(" %10s", w.c_str());
+    std::printf("\n%-22s", "paper (b=8,a=1,d=3)");
+    for (const auto &w : workloads)
+        std::printf(" %10.3f", 1.0);
+    std::printf("\n");
+
+    auto sweep = [&](const char *label, auto mutate) {
+        ExperimentConfig c = cfg;
+        mutate(c.system);
+        std::printf("%-22s", label);
+        for (const auto &w : workloads) {
+            const double v = runPoint(c, "esp-nuca", w)
+                                 .throughput.mean() / base[w];
+            std::printf(" %10.3f", v);
+        }
+        std::printf("\n");
+    };
+
+    sweep("a=2 (alpha=1/4)",
+          [](SystemConfig &s) { s.emaShift = 2; });
+    sweep("a=3 (alpha=1/8)",
+          [](SystemConfig &s) { s.emaShift = 3; });
+    sweep("b=6", [](SystemConfig &s) { s.emaBits = 6; });
+    sweep("b=10", [](SystemConfig &s) { s.emaBits = 10; });
+    sweep("d=1 (50% tol.)",
+          [](SystemConfig &s) { s.degradationShift = 1; });
+    sweep("d=2 (75% tol.)",
+          [](SystemConfig &s) { s.degradationShift = 2; });
+    sweep("d=5 (97% tol.)",
+          [](SystemConfig &s) { s.degradationShift = 5; });
+    sweep("period=16",
+          [](SystemConfig &s) { s.monitorPeriod = 16; });
+    sweep("period=256",
+          [](SystemConfig &s) { s.monitorPeriod = 256; });
+    sweep("4 conv samples",
+          [](SystemConfig &s) { s.conventionalSamples = 4; });
+    sweep("2 ref, 2 expl", [](SystemConfig &s) {
+        s.referenceSamples = 2;
+        s.explorerSamples = 2;
+    });
+
+    std::printf("\nexpectation: performance is robust (within a few %%)"
+                " around the paper's\nconstants, justifying the "
+                "hardware-cheap configuration.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Scenario: a consolidated web-server box (the paper's motivating
+ * transactional case). Compare the three cache philosophies — shared,
+ * private, and ESP-NUCA — on the same Apache-like workload and show
+ * where each one's time goes.
+ */
+
+#include <cstdio>
+
+#include "harness/system.hpp"
+
+using namespace espnuca;
+
+int
+main()
+{
+    SystemConfig cfg;
+    const std::uint64_t ops = 100'000;
+
+    std::printf("Consolidated web server (apache preset), %llu refs/core"
+                ", 8 cores\n\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("%-10s %10s %12s %10s %10s %10s\n", "arch", "IPC(chip)",
+                "access(cyc)", "offchip", "onchipLat", "L2hit%");
+
+    for (const char *arch : {"shared", "private", "esp-nuca"}) {
+        const Workload wl = makeWorkload("apache", cfg, ops, 1);
+        System sys(cfg, arch, wl, 1, /*warmup=*/0.5);
+        const RunResult r = sys.run();
+        std::printf("%-10s %10.3f %12.2f %10llu %10.2f %10.1f\n", arch,
+                    r.throughput, r.avgAccessTime,
+                    static_cast<unsigned long long>(r.offChipAccesses),
+                    r.onChipLatency,
+                    r.l2DemandAccesses
+                        ? 100.0 * static_cast<double>(r.l2DemandHits) /
+                              static_cast<double>(r.l2DemandAccesses)
+                        : 0.0);
+    }
+
+    std::printf(
+        "\nReading the table: the shared L2 keeps off-chip traffic low "
+        "but pays\nremote-bank latency on every shared hit; the private "
+        "tiles are fast but\nmiss more; ESP-NUCA replicates hot shared "
+        "blocks locally (replicas) while\nkeeping one authoritative home "
+        "copy, landing near-private latency at\nnear-shared miss "
+        "rates.\n");
+    return 0;
+}

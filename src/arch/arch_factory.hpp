@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Construction of every L2 organization by name, for the harness and the
+ * benchmark binaries.
+ */
+
+#ifndef ESPNUCA_ARCH_ARCH_FACTORY_HPP_
+#define ESPNUCA_ARCH_ARCH_FACTORY_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/asr.hpp"
+#include "arch/cc.hpp"
+#include "arch/dnuca.hpp"
+#include "arch/esp_nuca.hpp"
+#include "arch/private_tiled.hpp"
+#include "arch/snuca.hpp"
+#include "arch/sp_nuca.hpp"
+#include "common/log.hpp"
+
+namespace espnuca {
+
+/**
+ * Build an L2 organization by its report name. Known names:
+ * "shared", "private", "sp-nuca", "sp-nuca-static", "sp-nuca-shadow",
+ * "esp-nuca", "esp-nuca-flat", "d-nuca", "asr", "cc-0", "cc-30",
+ * "cc-70", "cc-100".
+ */
+inline std::unique_ptr<L2Org>
+makeArch(const std::string &name, const SystemConfig &cfg,
+         std::uint64_t seed = 1)
+{
+    if (name == "shared")
+        return std::make_unique<Snuca>(cfg);
+    if (name == "private")
+        return std::make_unique<PrivateTiled>(cfg);
+    if (name == "sp-nuca")
+        return std::make_unique<SpNuca>(cfg, SpPartition::FlatLru);
+    if (name == "sp-nuca-static")
+        return std::make_unique<SpNuca>(cfg, SpPartition::Static);
+    if (name == "sp-nuca-shadow")
+        return std::make_unique<SpNuca>(cfg, SpPartition::ShadowTags);
+    if (name == "esp-nuca")
+        return std::make_unique<EspNuca>(cfg, EspReplacement::ProtectedLru);
+    if (name == "esp-nuca-flat")
+        return std::make_unique<EspNuca>(cfg, EspReplacement::FlatLru);
+    if (name == "d-nuca")
+        return std::make_unique<Dnuca>(cfg);
+    if (name == "asr")
+        return std::make_unique<Asr>(cfg, seed);
+    if (name == "cc-0")
+        return std::make_unique<CooperativeCaching>(cfg, 0.0, seed);
+    if (name == "cc-30")
+        return std::make_unique<CooperativeCaching>(cfg, 0.3, seed);
+    if (name == "cc-70")
+        return std::make_unique<CooperativeCaching>(cfg, 0.7, seed);
+    if (name == "cc-100")
+        return std::make_unique<CooperativeCaching>(cfg, 1.0, seed);
+    ESP_FATAL("unknown architecture: " + name);
+}
+
+/** The four statically configured CC flavors (paper 6.1). */
+inline std::vector<std::string>
+ccVariants()
+{
+    return {"cc-0", "cc-30", "cc-70", "cc-100"};
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_ARCH_ARCH_FACTORY_HPP_

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The two address interpretations of paper Figure 1b.
+ *
+ * For a NUCA with 2^n banks and 2^p processors (n = 5, p = 3 in Table 2):
+ *
+ *   shared request :  | tag | index (i) | bank (n)   | byte (B) |
+ *   private request:  | tag | index (i) | bank (n-p) | byte (B) |
+ *
+ * A private request selects one of the 2^(n-p) banks nearest the
+ * requesting core; the private tag is p bits longer than the shared tag
+ * (both are stored in the same tag array sized for the private tag).
+ */
+
+#ifndef ESPNUCA_CACHE_ADDRESS_MAP_HPP_
+#define ESPNUCA_CACHE_ADDRESS_MAP_HPP_
+
+#include "common/bitops.hpp"
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Bank/set/tag extraction for both mapping functions. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const SystemConfig &cfg)
+        : bBits_(cfg.blockOffsetBits()),
+          nBits_(cfg.bankBits()),
+          pBits_(cfg.coreBits()),
+          iBits_(cfg.l2IndexBits()),
+          banksPerCore_(cfg.banksPerCore()),
+          numBanks_(cfg.l2Banks),
+          memControllers_(cfg.memControllers)
+    {
+        ESP_ASSERT(nBits_ >= pBits_, "more cores than banks");
+    }
+
+    /** Block-aligned address. */
+    Addr blockAddr(Addr a) const { return a >> bBits_ << bBits_; }
+
+    // -- Shared interpretation ---------------------------------------
+
+    /** Home bank under the shared mapping: the n bits above the offset. */
+    BankId
+    sharedBank(Addr a) const
+    {
+        return static_cast<BankId>(bits(a, bBits_, nBits_));
+    }
+
+    /** Set index under the shared mapping. */
+    std::uint32_t
+    sharedSet(Addr a) const
+    {
+        return static_cast<std::uint32_t>(
+            bits(a, bBits_ + nBits_, iBits_));
+    }
+
+    /** Tag under the shared mapping. */
+    Addr sharedTag(Addr a) const { return a >> (bBits_ + nBits_ + iBits_); }
+
+    // -- Private interpretation --------------------------------------
+
+    /**
+     * Bank under the private mapping: n-p address bits select among the
+     * requesting core's 2^(n-p) nearest banks.
+     */
+    BankId
+    privateBank(CoreId core, Addr a) const
+    {
+        const auto local = static_cast<BankId>(
+            bits(a, bBits_, nBits_ - pBits_));
+        return core * banksPerCore_ + local;
+    }
+
+    /** Set index under the private mapping. */
+    std::uint32_t
+    privateSet(Addr a) const
+    {
+        return static_cast<std::uint32_t>(
+            bits(a, bBits_ + nBits_ - pBits_, iBits_));
+    }
+
+    /** Tag under the private mapping (p bits longer than the shared tag). */
+    Addr
+    privateTag(Addr a) const
+    {
+        return a >> (bBits_ + nBits_ - pBits_ + iBits_);
+    }
+
+    // -- Misc ----------------------------------------------------------
+
+    /** True when bank b is in core c's private partition. */
+    bool
+    isLocalBank(CoreId c, BankId b) const
+    {
+        return b / banksPerCore_ == c;
+    }
+
+    /** Memory controller serving this address (block interleaved). */
+    std::uint32_t
+    memController(Addr a) const
+    {
+        return static_cast<std::uint32_t>(
+            bits(a, bBits_, 32) % memControllers_);
+    }
+
+    std::uint32_t numBanks() const { return numBanks_; }
+    std::uint32_t banksPerCore() const { return banksPerCore_; }
+
+  private:
+    unsigned bBits_;   //!< B: byte-in-block bits
+    unsigned nBits_;   //!< n: shared bank-select bits
+    unsigned pBits_;   //!< p: processor bits
+    unsigned iBits_;   //!< i: set-index bits
+    std::uint32_t banksPerCore_;
+    std::uint32_t numBanks_;
+    std::uint32_t memControllers_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_CACHE_ADDRESS_MAP_HPP_

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-way metadata for L1 and L2 blocks. The simulator stores the full
+ * block address instead of a truncated tag; together with the block class
+ * this models the paper's "private bit participates in the tag match"
+ * exactly (a private-mapped and a shared-mapped block can never alias).
+ */
+
+#ifndef ESPNUCA_CACHE_BLOCK_HPP_
+#define ESPNUCA_CACHE_BLOCK_HPP_
+
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** One cache way's state. */
+struct BlockMeta
+{
+    Addr addr = kInvalidAddr;   //!< block-aligned address
+    bool valid = false;
+    bool dirty = false;
+    /** Block classification (paper 2.1 / 3.1). Unused by L1s. */
+    BlockClass cls = BlockClass::Private;
+    /**
+     * For Private blocks and Victims: the core whose private data this
+     * is. For Replicas: the core whose partition holds the copy.
+     */
+    CoreId owner = kInvalidCore;
+    /** This copy carries the block's owner token (can source data). */
+    bool hasOwnerToken = false;
+    /** Demand hits this copy has served (saturating; reuse filter). */
+    std::uint8_t hits = 0;
+
+    void
+    clear()
+    {
+        *this = BlockMeta{};
+    }
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_CACHE_BLOCK_HPP_

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * One L2 NUCA bank: an array of w-way sets, a replacement policy, an
+ * optional hit-rate monitor (ESP-NUCA), and sequential-access timing
+ * (Table 2: 5-cycle data access, 2-cycle tag access, one access in
+ * flight at a time).
+ */
+
+#ifndef ESPNUCA_CACHE_CACHE_BANK_HPP_
+#define ESPNUCA_CACHE_CACHE_BANK_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_set.hpp"
+#include "cache/hit_rate_monitor.hpp"
+#include "cache/replacement.hpp"
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Outcome of a bank insertion. */
+struct InsertResult
+{
+    bool inserted = false; //!< false when the policy refused the block
+    BlockMeta evicted;     //!< valid == true when a block was displaced
+};
+
+/** A single NUCA bank. */
+class CacheBank
+{
+  public:
+    /**
+     * @param cfg system configuration (geometry and latencies)
+     * @param id this bank's index
+     * @param policy replacement strategy (shared across banks is fine for
+     *        stateless policies; stateful ones get one instance per bank)
+     * @param with_monitor attach an ESP-NUCA hit-rate monitor
+     */
+    CacheBank(const SystemConfig &cfg, BankId id,
+              std::shared_ptr<ReplacementPolicy> policy,
+              bool with_monitor = false)
+        : cfg_(cfg), id_(id), policy_(std::move(policy)),
+          sets_(cfg.l2SetsPerBank(), CacheSet(cfg.l2Ways))
+    {
+        ESP_ASSERT(policy_ != nullptr, "bank needs a replacement policy");
+        if (with_monitor) {
+            monitor_ = std::make_unique<HitRateMonitor>(
+                cfg, cfg.l2SetsPerBank(), cfg.l2Ways);
+        }
+    }
+
+    BankId id() const { return id_; }
+    std::uint32_t numSets() const
+    {
+        return static_cast<std::uint32_t>(sets_.size());
+    }
+
+    CacheSet &set(std::uint32_t s) { return sets_.at(s); }
+    const CacheSet &set(std::uint32_t s) const { return sets_.at(s); }
+
+    // -- Timing --------------------------------------------------------
+
+    /**
+     * Account a tag probe (Table 2: 2 cycles). The bank is sequential,
+     * serving one phase at a time.
+     * @param arrival cycle the request reaches the bank
+     * @return cycle the tag check completes
+     */
+    Cycle
+    tagProbe(Cycle arrival)
+    {
+        return occupy(arrival, cfg_.l2TagLatency);
+    }
+
+    /**
+     * Account the data phase following a tag hit (sequential access:
+     * total latency l2Latency, of which l2TagLatency was the tag phase).
+     * Also used for fills/writebacks into the array.
+     * @param arrival cycle the data phase may start
+     * @return cycle the data is available
+     */
+    Cycle
+    dataAccess(Cycle arrival)
+    {
+        return occupy(arrival, cfg_.l2Latency - cfg_.l2TagLatency);
+    }
+
+    // -- Content -------------------------------------------------------
+
+    /** Find `addr` in set `s` under `pred` (the class/tag match). */
+    int
+    find(std::uint32_t s, Addr addr, const WayPred &pred) const
+    {
+        return sets_.at(s).find(addr, pred);
+    }
+
+    /** Find `addr` in set `s` under any class. */
+    int
+    findAny(std::uint32_t s, Addr addr) const
+    {
+        return sets_.at(s).findAny(addr);
+    }
+
+    BlockMeta &
+    meta(std::uint32_t s, int way)
+    {
+        return sets_.at(s).way(way);
+    }
+
+    /** Promote to MRU. */
+    void
+    touch(std::uint32_t s, int way)
+    {
+        sets_.at(s).touch(way);
+    }
+
+    /**
+     * Record the outcome of a demand reference for the monitor and the
+     * learning policies. `first_class_hit` follows the paper's h
+     * definition (1 only when a first-class block was hit).
+     */
+    void
+    recordDemand(std::uint32_t s, Addr addr, BlockClass cls,
+                 bool first_class_hit)
+    {
+        if (monitor_)
+            monitor_->record(s, first_class_hit);
+        policy_->onDemandAccess(s, addr, cls, first_class_hit);
+        if (first_class_hit)
+            ++demandHits_;
+        ++demandAccesses_;
+    }
+
+    /**
+     * Insert a block; the policy picks (or refuses) the victim way.
+     * The evicted block's metadata is returned to the caller, which owns
+     * the consequent writeback / victim-creation decision.
+     */
+    InsertResult
+    insert(std::uint32_t s, const BlockMeta &incoming)
+    {
+        ESP_ASSERT(incoming.valid, "inserting an invalid block");
+        CacheSet &cset = sets_.at(s);
+        ESP_ASSERT(cset.findAny(incoming.addr) == kNoWay,
+                   "inserting a duplicate block");
+        InsertResult res;
+        const int way = policy_->chooseWay(cset, incoming.cls, context(s));
+        if (way == kNoWay)
+            return res;
+        BlockMeta &victim = cset.way(way);
+        if (victim.valid) {
+            res.evicted = victim;
+            policy_->onEvict(s, victim);
+            ++evictions_;
+        }
+        victim = incoming;
+        cset.touch(way);
+        res.inserted = true;
+        return res;
+    }
+
+    /** Drop a block (coherence invalidation); returns the old metadata. */
+    BlockMeta
+    invalidate(std::uint32_t s, int way)
+    {
+        BlockMeta &m = sets_.at(s).way(way);
+        ESP_ASSERT(m.valid, "invalidating an invalid way");
+        const BlockMeta old = m;
+        m.clear();
+        sets_.at(s).demote(way);
+        return old;
+    }
+
+    /** Replacement context for a set (category + nmax). */
+    ReplacementContext
+    context(std::uint32_t s) const
+    {
+        ReplacementContext ctx;
+        ctx.setIndex = s;
+        if (monitor_) {
+            ctx.category = monitor_->category(s);
+            ctx.nmax = monitor_->nmax();
+        }
+        return ctx;
+    }
+
+    /** Monitor access (null for non-ESP banks). */
+    HitRateMonitor *monitor() { return monitor_.get(); }
+    const HitRateMonitor *monitor() const { return monitor_.get(); }
+
+    ReplacementPolicy &policy() { return *policy_; }
+
+    // -- Stats -----------------------------------------------------------
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t demandAccesses() const { return demandAccesses_; }
+    std::uint64_t demandHits() const { return demandHits_; }
+    std::uint64_t evictions() const { return evictions_; }
+    Cycle waitCycles() const { return waitCycles_; }
+
+    /** Clear the statistics only (warmup boundary); contents kept. */
+    void
+    resetStats()
+    {
+        accesses_ = 0;
+        demandAccesses_ = 0;
+        demandHits_ = 0;
+        evictions_ = 0;
+        waitCycles_ = 0;
+    }
+
+    /** Count valid blocks of a class across the whole bank (tests). */
+    std::uint64_t
+    countClass(BlockClass c) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : sets_)
+            n += s.countIf([c](const BlockMeta &m) { return m.cls == c; });
+        return n;
+    }
+
+  private:
+    Cycle
+    occupy(Cycle arrival, Cycle lat)
+    {
+        const Cycle start = arrival > freeAt_ ? arrival : freeAt_;
+        waitCycles_ += start - arrival;
+        freeAt_ = start + lat;
+        ++accesses_;
+        return start + lat;
+    }
+
+    SystemConfig cfg_;
+    BankId id_;
+    std::shared_ptr<ReplacementPolicy> policy_;
+    std::vector<CacheSet> sets_;
+    std::unique_ptr<HitRateMonitor> monitor_;
+
+    Cycle freeAt_ = 0;
+    Cycle waitCycles_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t demandAccesses_ = 0;
+    std::uint64_t demandHits_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_CACHE_CACHE_BANK_HPP_

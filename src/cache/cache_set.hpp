@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A w-way set with true-LRU ordering. Policies query the set through
+ * class-predicates, which is how the paper's "private bit added to the
+ * tag comparison" and "LRU among the helping blocks" rules are expressed.
+ */
+
+#ifndef ESPNUCA_CACHE_CACHE_SET_HPP_
+#define ESPNUCA_CACHE_CACHE_SET_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/block.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Predicate over way metadata used for matching and victim filtering. */
+using WayPred = std::function<bool(const BlockMeta &)>;
+
+/** Way index sentinel. */
+inline constexpr int kNoWay = -1;
+
+/**
+ * Set of `w` ways plus an LRU recency stack (front = MRU). All search and
+ * replacement helpers are O(w), which is exact-hardware-equivalent for a
+ * 16-way bank and plenty fast in simulation.
+ */
+class CacheSet
+{
+  public:
+    explicit CacheSet(std::uint32_t ways) : ways_(ways), lru_(ways)
+    {
+        ESP_ASSERT(ways > 0, "set needs at least one way");
+        for (std::uint32_t i = 0; i < ways; ++i)
+            lru_[i] = static_cast<std::uint8_t>(i);
+    }
+
+    std::uint32_t numWays() const
+    {
+        return static_cast<std::uint32_t>(ways_.size());
+    }
+
+    BlockMeta &way(int i) { return ways_.at(static_cast<std::size_t>(i)); }
+    const BlockMeta &
+    way(int i) const
+    {
+        return ways_.at(static_cast<std::size_t>(i));
+    }
+
+    /** Find a valid way holding `addr` and satisfying `pred`. */
+    int
+    find(Addr addr, const WayPred &pred) const
+    {
+        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
+            const BlockMeta &m = ways_[i];
+            if (m.valid && m.addr == addr && pred(m))
+                return static_cast<int>(i);
+        }
+        return kNoWay;
+    }
+
+    /** Find a valid way holding `addr` under any class. */
+    int
+    findAny(Addr addr) const
+    {
+        return find(addr, [](const BlockMeta &) { return true; });
+    }
+
+    /** Promote a way to MRU. */
+    void
+    touch(int w)
+    {
+        auto it = std::find(lru_.begin(), lru_.end(),
+                            static_cast<std::uint8_t>(w));
+        ESP_ASSERT(it != lru_.end(), "way not in recency stack");
+        lru_.erase(it);
+        lru_.insert(lru_.begin(), static_cast<std::uint8_t>(w));
+    }
+
+    /** Demote a way to LRU (used when inserting low-priority blocks). */
+    void
+    demote(int w)
+    {
+        auto it = std::find(lru_.begin(), lru_.end(),
+                            static_cast<std::uint8_t>(w));
+        ESP_ASSERT(it != lru_.end(), "way not in recency stack");
+        lru_.erase(it);
+        lru_.push_back(static_cast<std::uint8_t>(w));
+    }
+
+    /** Any invalid way, or kNoWay. */
+    int
+    invalidWay() const
+    {
+        for (std::uint32_t i = 0; i < ways_.size(); ++i)
+            if (!ways_[i].valid)
+                return static_cast<int>(i);
+        return kNoWay;
+    }
+
+    /** LRU-most valid way satisfying `pred`, or kNoWay. */
+    int
+    lruAmong(const WayPred &pred) const
+    {
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            const BlockMeta &m = ways_[*it];
+            if (m.valid && pred(m))
+                return static_cast<int>(*it);
+        }
+        return kNoWay;
+    }
+
+    /** Globally LRU valid way, or kNoWay when the set is empty. */
+    int
+    lruWay() const
+    {
+        return lruAmong([](const BlockMeta &) { return true; });
+    }
+
+    /** Count valid ways satisfying `pred`. */
+    std::uint32_t
+    countIf(const WayPred &pred) const
+    {
+        std::uint32_t n = 0;
+        for (const auto &m : ways_)
+            if (m.valid && pred(m))
+                ++n;
+        return n;
+    }
+
+    /** Number of valid helping blocks (the paper's per-set `n` counter). */
+    std::uint32_t
+    helpingCount() const
+    {
+        return countIf([](const BlockMeta &m) { return isHelping(m.cls); });
+    }
+
+    /** Recency position of a way: 0 = MRU .. w-1 = LRU (testing aid). */
+    std::uint32_t
+    recencyOf(int w) const
+    {
+        for (std::uint32_t i = 0; i < lru_.size(); ++i)
+            if (lru_[i] == static_cast<std::uint8_t>(w))
+                return i;
+        ESP_PANIC("way not in recency stack");
+    }
+
+  private:
+    std::vector<BlockMeta> ways_;
+    std::vector<std::uint8_t> lru_; //!< recency stack, front = MRU
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_CACHE_CACHE_SET_HPP_

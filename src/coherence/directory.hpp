@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Chip-wide per-block coherence bookkeeping: the token-counting ledger
+ * and the TokenD-style directory (paper 2.3, [15]).
+ *
+ * The simulator tracks, per block, which L1s hold tokens, which L2 banks
+ * hold copies, where the owner token is, and the SP-NUCA private/shared
+ * status. Token counts follow the transaction-level redistribution rule
+ * (DESIGN.md 5.2): the owner holds the remainder of the fixed total,
+ * every other holder one token, and memory everything when the block is
+ * off chip — so conservation holds by construction and the testable
+ * invariants are on the holder sets themselves.
+ */
+
+#ifndef ESPNUCA_COHERENCE_DIRECTORY_HPP_
+#define ESPNUCA_COHERENCE_DIRECTORY_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "coherence/l1_cache.hpp"
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Who holds a block's owner token. */
+enum class OwnerKind : std::uint8_t { Memory, L1, L2Bank };
+
+/** Directory entry for one block currently on chip. */
+struct BlockInfo
+{
+    std::uint32_t l1Holders = 0;  //!< bit per L1Id (core*2 + i/d)
+    std::uint64_t l2Copies = 0;   //!< bit per BankId
+    OwnerKind ownerKind = OwnerKind::Memory;
+    std::uint32_t ownerIndex = 0; //!< L1Id or BankId when not Memory
+
+    /** SP/ESP-NUCA sharing status: false = private, true = shared. */
+    bool sharedStatus = false;
+    /** The single accessor while the block is private. */
+    CoreId firstAccessor = kInvalidCore;
+
+    bool
+    onChip() const
+    {
+        return l1Holders != 0 || l2Copies != 0;
+    }
+
+    bool hasL1Holder(L1Id id) const { return (l1Holders >> id) & 1u; }
+    bool hasL2Copy(BankId b) const { return (l2Copies >> b) & 1u; }
+
+    std::uint32_t
+    numL1Holders() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcount(l1Holders));
+    }
+
+    std::uint32_t
+    numL2Copies() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcountll(l2Copies));
+    }
+};
+
+/**
+ * The directory proper. All mutations funnel through here so the holder
+ * sets stay consistent with the cache arrays (cross-checked in tests).
+ */
+class Directory
+{
+  public:
+    explicit Directory(const SystemConfig &cfg) : cfg_(cfg) {}
+
+    /** Look up without creating; nullptr when the block is off chip. */
+    const BlockInfo *
+    find(Addr a) const
+    {
+        auto it = map_.find(a);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Look up or create (fresh blocks are private, memory-owned). */
+    BlockInfo &
+    entry(Addr a)
+    {
+        return map_[a];
+    }
+
+    /** True when any on-chip structure holds the block. */
+    bool
+    onChip(Addr a) const
+    {
+        const BlockInfo *e = find(a);
+        return e != nullptr && e->onChip();
+    }
+
+    /**
+     * Record the demand access of core c: establishes the first accessor
+     * and performs the SP-NUCA privatization transition. A block whose
+     * copies all left the chip starts over as private (paper 2.1) —
+     * the reset is applied lazily here, so the status survives pure
+     * on-chip moves (e.g. a displaced private block becoming a victim).
+     * @return true when this access flips the block private -> shared.
+     */
+    bool
+    noteAccess(Addr a, CoreId c)
+    {
+        BlockInfo &e = entry(a);
+        if (!e.onChip() && e.firstAccessor != kInvalidCore) {
+            e.firstAccessor = kInvalidCore;
+            e.sharedStatus = false;
+        }
+        if (e.firstAccessor == kInvalidCore) {
+            e.firstAccessor = c;
+            return false;
+        }
+        if (!e.sharedStatus && e.firstAccessor != c) {
+            e.sharedStatus = true;
+            return true;
+        }
+        return false;
+    }
+
+    // -- L1 holder management -----------------------------------------
+
+    void
+    addL1(Addr a, L1Id id, bool owner)
+    {
+        BlockInfo &e = entry(a);
+        e.l1Holders |= 1u << id;
+        if (owner) {
+            e.ownerKind = OwnerKind::L1;
+            e.ownerIndex = id;
+        }
+    }
+
+    /** Remove an L1 holder; owner token falls back to memory for now
+     *  (callers re-assign it when the data lands in an L2 bank). */
+    void
+    removeL1(Addr a, L1Id id)
+    {
+        BlockInfo &e = entry(a);
+        ESP_ASSERT(e.hasL1Holder(id), "removing a non-holder L1");
+        e.l1Holders &= ~(1u << id);
+        if (e.ownerKind == OwnerKind::L1 && e.ownerIndex == id) {
+            e.ownerKind = OwnerKind::Memory;
+            e.ownerIndex = 0;
+        }
+        maybeRelease(a);
+    }
+
+    // -- L2 copy management --------------------------------------------
+
+    void
+    addL2(Addr a, BankId b, bool owner)
+    {
+        BlockInfo &e = entry(a);
+        ESP_ASSERT(!e.hasL2Copy(b), "bank already holds a copy");
+        e.l2Copies |= std::uint64_t{1} << b;
+        if (owner) {
+            e.ownerKind = OwnerKind::L2Bank;
+            e.ownerIndex = b;
+        }
+    }
+
+    void
+    removeL2(Addr a, BankId b)
+    {
+        BlockInfo &e = entry(a);
+        ESP_ASSERT(e.hasL2Copy(b), "removing a non-copy bank");
+        e.l2Copies &= ~(std::uint64_t{1} << b);
+        if (e.ownerKind == OwnerKind::L2Bank && e.ownerIndex == b) {
+            e.ownerKind = OwnerKind::Memory;
+            e.ownerIndex = 0;
+        }
+        maybeRelease(a);
+    }
+
+    /** Move the L2 owner-token copy from one bank to another. */
+    void
+    moveL2(Addr a, BankId from, BankId to)
+    {
+        BlockInfo &e = entry(a);
+        ESP_ASSERT(e.hasL2Copy(from), "moving from a non-copy bank");
+        ESP_ASSERT(!e.hasL2Copy(to), "destination already holds a copy");
+        e.l2Copies &= ~(std::uint64_t{1} << from);
+        e.l2Copies |= std::uint64_t{1} << to;
+        if (e.ownerKind == OwnerKind::L2Bank && e.ownerIndex == from)
+            e.ownerIndex = to;
+    }
+
+    /** Explicitly hand the owner token to a holder. */
+    void
+    setOwner(Addr a, OwnerKind kind, std::uint32_t index)
+    {
+        BlockInfo &e = entry(a);
+        if (kind == OwnerKind::L1)
+            ESP_ASSERT(e.hasL1Holder(index), "owner must hold the block");
+        if (kind == OwnerKind::L2Bank)
+            ESP_ASSERT(e.hasL2Copy(index), "owner bank must hold a copy");
+        e.ownerKind = kind;
+        e.ownerIndex = index;
+    }
+
+    /**
+     * Token count of a holder under the redistribution rule (tests and
+     * diagnostics; conservation is structural).
+     */
+    std::uint32_t
+    tokensOf(Addr a, OwnerKind kind, std::uint32_t index) const
+    {
+        const BlockInfo *e = find(a);
+        const std::uint32_t total = cfg_.totalTokens();
+        if (!e)
+            return kind == OwnerKind::Memory ? total : 0;
+        const std::uint32_t holders = e->numL1Holders() + e->numL2Copies();
+        const bool is_holder =
+            (kind == OwnerKind::L1 && e->hasL1Holder(index)) ||
+            (kind == OwnerKind::L2Bank && e->hasL2Copy(index));
+        const bool is_owner =
+            e->ownerKind == kind &&
+            (kind == OwnerKind::Memory || e->ownerIndex == index);
+        if (is_owner) {
+            const std::uint32_t others = holders - (is_holder ? 1 : 0);
+            return total - others;
+        }
+        if (kind == OwnerKind::Memory)
+            return e->ownerKind == OwnerKind::Memory ? 0 : 0;
+        return is_holder ? 1 : 0;
+    }
+
+    /** Number of blocks currently resident somewhere on chip. */
+    std::size_t
+    population() const
+    {
+        std::size_t n = 0;
+        for (const auto &[a, e] : map_)
+            n += e.onChip();
+        return n;
+    }
+
+    /** Internal consistency of one entry (used by property tests). */
+    bool
+    consistent(Addr a) const
+    {
+        const BlockInfo *e = find(a);
+        if (!e)
+            return true;
+        if (e->ownerKind == OwnerKind::L1 && !e->hasL1Holder(e->ownerIndex))
+            return false;
+        if (e->ownerKind == OwnerKind::L2Bank &&
+            !e->hasL2Copy(e->ownerIndex)) {
+            return false;
+        }
+        if (e->firstAccessor == kInvalidCore && e->sharedStatus)
+            return false;
+        return true;
+    }
+
+    /** Iterate all tracked blocks (tests). */
+    const std::unordered_map<Addr, BlockInfo> &raw() const { return map_; }
+
+  private:
+    /**
+     * When the last on-chip copy disappears the block has "left the
+     * chip". The entry is retained (its status reset happens lazily at
+     * the next demand access) so that transient zero-copy windows
+     * during on-chip moves don't destroy the private/shared status;
+     * only the owner token is settled back to memory, which the
+     * remove paths already did.
+     */
+    void
+    maybeRelease(Addr a)
+    {
+        (void)a;
+    }
+
+    SystemConfig cfg_;
+    std::unordered_map<Addr, BlockInfo> map_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COHERENCE_DIRECTORY_HPP_

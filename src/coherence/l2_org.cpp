@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared helpers for L2 organizations.
+ */
+
+#include "coherence/l2_org.hpp"
+
+#include "coherence/protocol.hpp"
+
+namespace espnuca {
+
+std::uint32_t
+L2Org::invalidateAllL2Copies(Addr a)
+{
+    Directory &d = proto().dir();
+    const BlockInfo *e = d.find(a);
+    if (e == nullptr)
+        return 0;
+    std::vector<BankId> targets;
+    for (BankId b = 0; b < cfg_.l2Banks; ++b)
+        if (e->hasL2Copy(b))
+            targets.push_back(b);
+    for (BankId b : targets) {
+        const auto [set, way] = findCopy(b, a);
+        ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
+        banks_[b]->invalidate(set, way);
+        d.removeL2(a, b);
+    }
+    return static_cast<std::uint32_t>(targets.size());
+}
+
+InsertResult
+L2Org::applyInsert(BankId b, std::uint32_t set, const BlockMeta &blk,
+                   bool owner_token)
+{
+    // The bank may already hold a copy (timing races are legal: e.g. a
+    // status flip while a stale private-mapped copy lingers). Merging
+    // into the resident copy is the coherent outcome — duplicate copies
+    // in one bank would be the real bug.
+    const BlockInfo *e = proto().dir().find(blk.addr);
+    if (e != nullptr && e->hasL2Copy(b)) {
+        const auto [eset, eway] = findCopy(b, blk.addr);
+        ESP_ASSERT(eway != kNoWay, "directory bit without a bank copy");
+        BlockMeta &m = banks_[b]->meta(eset, eway);
+        m.dirty = m.dirty || blk.dirty;
+        if (owner_token && !m.hasOwnerToken) {
+            m.hasOwnerToken = true;
+            proto().dir().setOwner(blk.addr, OwnerKind::L2Bank, b);
+        }
+        banks_[b]->touch(eset, eway);
+        InsertResult res;
+        res.inserted = true;
+        return res;
+    }
+    BlockMeta incoming = blk;
+    incoming.valid = true;
+    incoming.hasOwnerToken = owner_token;
+    InsertResult res = banks_[b]->insert(set, incoming);
+    if (!res.inserted)
+        return res;
+    if (res.evicted.valid)
+        proto().dir().removeL2(res.evicted.addr, b);
+    proto().dir().addL2(blk.addr, b, owner_token);
+    return res;
+}
+
+void
+L2Org::dropDisplaced(const BlockMeta &blk, BankId from_bank, Cycle t)
+{
+    if (blk.dirty) {
+        proto().writebackToMemory(
+            blk.addr, proto().topo().bankNode(from_bank), t);
+    }
+}
+
+bool
+L2Org::insertWithDrop(BankId b, std::uint32_t set, const BlockMeta &blk,
+                      bool owner_token, Cycle t)
+{
+    const InsertResult res = applyInsert(b, set, blk, owner_token);
+    if (res.inserted && res.evicted.valid)
+        dropDisplaced(res.evicted, b, t);
+    return res.inserted;
+}
+
+InsertResult
+L2Org::storeOrRefresh(BankId b, std::uint32_t set, const BlockMeta &blk,
+                      bool owner_token)
+{
+    const int way = banks_[b]->findAny(set, blk.addr);
+    if (way != kNoWay) {
+        BlockMeta &m = banks_[b]->meta(set, way);
+        m.dirty = m.dirty || blk.dirty;
+        if (owner_token && !m.hasOwnerToken) {
+            m.hasOwnerToken = true;
+            proto().dir().setOwner(blk.addr, OwnerKind::L2Bank, b);
+        }
+        banks_[b]->touch(set, way);
+        InsertResult res;
+        res.inserted = true;
+        return res;
+    }
+    return applyInsert(b, set, blk, owner_token);
+}
+
+std::uint64_t
+L2Org::totalDemandAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : banks_)
+        n += b->demandAccesses();
+    return n;
+}
+
+std::uint64_t
+L2Org::totalDemandHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : banks_)
+        n += b->demandHits();
+    return n;
+}
+
+} // namespace espnuca

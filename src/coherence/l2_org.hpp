@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Base class for every L2 organization under study (S-NUCA, Private,
+ * SP-NUCA, ESP-NUCA, D-NUCA, ASR, CC). The organization owns the 32 L2
+ * banks and drives the on-chip search of each transaction through the
+ * protocol's probe/l2Hit/l2Miss services; it also decides placement on
+ * fills, L1-writeback handling, and what happens to displaced blocks.
+ */
+
+#ifndef ESPNUCA_COHERENCE_L2_ORG_HPP_
+#define ESPNUCA_COHERENCE_L2_ORG_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/address_map.hpp"
+#include "cache/cache_bank.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+class Protocol;
+struct Transaction;
+
+/** Interface every studied cache architecture implements. */
+class L2Org
+{
+  public:
+    explicit L2Org(const SystemConfig &cfg) : cfg_(cfg), map_(cfg) {}
+    virtual ~L2Org() = default;
+
+    L2Org(const L2Org &) = delete;
+    L2Org &operator=(const L2Org &) = delete;
+
+    /** Wire up the protocol after construction (two-phase init). */
+    void attach(Protocol &p) { proto_ = &p; }
+
+    /** Architecture name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Drive the on-chip L2 search for `tx` starting at tx.searchStart
+     * from tx.reqNode. Must eventually call proto().l2Hit(...) or
+     * proto().l2Miss(...) exactly once, and may call
+     * proto().startMemory(...) where the paper's flow forwards to the
+     * memory controller in parallel.
+     */
+    virtual void search(Transaction &tx) = 0;
+
+    /**
+     * Placement after an off-chip fill completes (time `t`). The data is
+     * on its way to the requester; organizations that allocate L2 on
+     * fill insert a copy here. Fire-and-forget traffic may be billed.
+     */
+    virtual void onMemFill(Transaction &tx, Cycle t) = 0;
+
+    /**
+     * An L1 evicted `blk` (dirty or clean) at time `t`. The organization
+     * places it (tile insert, replica creation, home writeback) or lets
+     * it leave the chip. The L1 holder bit has already been cleared.
+     * @return true when the block (if dirty) was preserved somewhere;
+     *         false lets the protocol write dirty data back to memory.
+     */
+    virtual bool onL1Eviction(CoreId c, const BlockMeta &blk, Cycle t) = 0;
+
+    /**
+     * A read hit at (bank,set,way) completed for `tx` at time `t`.
+     * Hook for migration / promotion / replica decisions.
+     */
+    virtual void
+    onL2ReadHit(Transaction &tx, BankId bank, std::uint32_t set, int way,
+                Cycle t)
+    {
+        (void)tx;
+        (void)bank;
+        (void)set;
+        (void)way;
+        (void)t;
+    }
+
+    /** Number of banks (always cfg.l2Banks once initBanks ran). */
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    CacheBank &bank(BankId b) { return *banks_.at(b); }
+    const CacheBank &bank(BankId b) const { return *banks_.at(b); }
+
+    const AddressMap &map() const { return map_; }
+
+    /**
+     * Locate a copy of `a` in a bank, whichever mapping it was stored
+     * under. @return {set, way} with way == kNoWay when absent.
+     */
+    std::pair<std::uint32_t, int>
+    findCopy(BankId b, Addr a) const
+    {
+        const std::uint32_t ps = map_.privateSet(a);
+        int w = banks_.at(b)->findAny(ps, a);
+        if (w != kNoWay)
+            return {ps, w};
+        const std::uint32_t ss = map_.sharedSet(a);
+        if (ss != ps) {
+            w = banks_.at(b)->findAny(ss, a);
+            if (w != kNoWay)
+                return {ss, w};
+        }
+        return {0, kNoWay};
+    }
+
+    /**
+     * Remove every L2 copy of `a` (write invalidation); keeps the
+     * directory consistent. Returns the number of copies dropped.
+     */
+    std::uint32_t invalidateAllL2Copies(Addr a);
+
+    /** Aggregate L2 demand statistics across banks. */
+    std::uint64_t totalDemandAccesses() const;
+    std::uint64_t totalDemandHits() const;
+
+  protected:
+    Protocol &proto() { return *proto_; }
+    const Protocol &proto() const { return *proto_; }
+
+    /** Create the banks, one policy instance per bank when stateful. */
+    template <typename MakePolicy>
+    void
+    initBanks(MakePolicy make, bool with_monitor)
+    {
+        banks_.clear();
+        banks_.reserve(cfg_.l2Banks);
+        for (BankId b = 0; b < cfg_.l2Banks; ++b) {
+            banks_.push_back(std::make_unique<CacheBank>(
+                cfg_, b, make(b), with_monitor));
+        }
+    }
+
+    /**
+     * Insert `blk` into (bank, set) keeping the directory consistent for
+     * both the inserted and the displaced block. The caller decides what
+     * to do with `.evicted` (writeback, victim creation, drop).
+     */
+    InsertResult applyInsert(BankId b, std::uint32_t set,
+                             const BlockMeta &blk, bool owner_token);
+
+    /**
+     * Default handling for a displaced block whose directory bit has
+     * already been cleared by applyInsert: dirty data is written back to
+     * memory (fire-and-forget), clean data simply leaves the chip.
+     */
+    void dropDisplaced(const BlockMeta &blk, BankId from_bank, Cycle t);
+
+    /** applyInsert + dropDisplaced convenience. @return inserted? */
+    bool insertWithDrop(BankId b, std::uint32_t set, const BlockMeta &blk,
+                        bool owner_token, Cycle t);
+
+    /**
+     * Store an L1-evicted block: when the target bank already holds a
+     * copy, refresh it (dirty bit, recency, owner token) instead of
+     * inserting a duplicate. @return the insert outcome ("inserted" is
+     * true for the refresh case too).
+     */
+    InsertResult storeOrRefresh(BankId b, std::uint32_t set,
+                                const BlockMeta &blk, bool owner_token);
+
+    SystemConfig cfg_;
+    AddressMap map_;
+    Protocol *proto_ = nullptr;
+    std::vector<std::unique_ptr<CacheBank>> banks_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COHERENCE_L2_ORG_HPP_

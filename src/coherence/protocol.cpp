@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Implementation of the transaction-level token-coherence engine.
+ */
+
+#include "coherence/protocol.hpp"
+
+#include <algorithm>
+
+#include "coherence/l2_org.hpp"
+#include "common/log.hpp"
+
+namespace espnuca {
+
+Protocol::Protocol(const SystemConfig &cfg, const Topology &topo,
+                   Mesh &mesh, EventQueue &eq, L2Org &org)
+    : cfg_(cfg), topo_(topo), mesh_(mesh), eq_(eq), org_(org), map_(cfg),
+      dir_(cfg)
+{
+    l1s_.reserve(cfg.numCores * 2);
+    for (std::uint32_t i = 0; i < cfg.numCores * 2; ++i)
+        l1s_.emplace_back(cfg);
+    mcs_.reserve(cfg.memControllers);
+    for (std::uint32_t i = 0; i < cfg.memControllers; ++i)
+        mcs_.emplace_back(cfg);
+    org_.attach(*this);
+}
+
+void
+Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
+{
+    a = map_.blockAddr(a);
+    ++accesses_;
+    const bool is_write = t == AccessType::Store;
+    const bool instr = t == AccessType::Ifetch;
+    const L1Id id = l1IdOf(c, instr);
+    L1Cache &l1 = l1s_[id];
+    const Cycle issue = eq_.now();
+
+    const int way = l1.lookup(a);
+    if (way != kNoWay) {
+        bool serviceable = !is_write;
+        if (is_write) {
+            // A store needs every token: sole L1 holder, no L2 copies.
+            const BlockInfo *e = dir_.find(a);
+            ESP_ASSERT(e != nullptr, "L1 copy without directory entry");
+            serviceable = e->ownerKind == OwnerKind::L1 &&
+                          e->ownerIndex == id && e->numL1Holders() == 1 &&
+                          e->l2Copies == 0;
+        }
+        if (serviceable) {
+            l1.touch(a, way);
+            if (is_write)
+                l1.meta(a, way).dirty = true;
+            ++l1Hits_;
+            const Cycle lat = cfg_.l1Latency;
+            auto &ls = levels_[static_cast<std::size_t>(
+                ServiceLevel::LocalL1)];
+            ++ls.count;
+            ls.totalLatency += lat;
+            eq_.schedule(lat, [done = std::move(done), lat]() {
+                done(ServiceLevel::LocalL1, lat);
+            });
+            return;
+        }
+    }
+
+    // Miss or write upgrade: merge into an existing transaction if one
+    // matches, otherwise start a new one behind the block lock.
+    const MshrKey key{c, a, instr, is_write};
+    auto it = mshrs_.find(key);
+    if (it != mshrs_.end()) {
+        it->second->waiters.push_back({issue, std::move(done)});
+        return;
+    }
+
+    auto tx = std::make_unique<Transaction>();
+    tx->id = nextId_++;
+    tx->core = c;
+    tx->type = t;
+    tx->addr = a;
+    tx->isWrite = is_write;
+    tx->isUpgrade = is_write && way != kNoWay;
+    tx->issueTime = issue;
+    tx->reqNode = topo_.coreNode(c);
+    tx->waiters.push_back({issue, std::move(done)});
+    Transaction *raw = tx.get();
+    live_[raw->id] = std::move(tx);
+    mshrs_[key] = raw;
+    ++transactions_;
+    acquireLock(a, [this, raw]() { begin(raw); });
+}
+
+void
+Protocol::begin(Transaction *tx)
+{
+    // The L1 miss was detected after the L1 tag check; lock waits may
+    // have delayed us further.
+    const Cycle t0 = std::max(tx->issueTime + cfg_.l1TagLatency, eq_.now());
+    tx->searchStart = t0;
+    if (dir_.noteAccess(tx->addr, tx->core))
+        ++privatizations_;
+
+    // Re-derive the transaction shape from the *current* L1 state: while
+    // this transaction waited for the block lock, a lock-serialized
+    // predecessor of the same core may have filled or invalidated the
+    // copy that existed at issue time.
+    const L1Id self = l1IdOf(tx->core, tx->type == AccessType::Ifetch);
+    const bool resident = l1s_[self].has(tx->addr);
+    if (!tx->isWrite && resident) {
+        // A predecessor filled it: this is now a plain L1 hit.
+        ++l1Hits_;
+        tx->level = ServiceLevel::LocalL1;
+        finish(tx, t0 + cfg_.l1Latency);
+        return;
+    }
+    tx->isUpgrade = tx->isWrite && resident;
+    if (tx->isUpgrade) {
+        // Sole ownership may also have materialized already.
+        const BlockInfo *e = dir_.find(tx->addr);
+        if (e != nullptr && e->ownerKind == OwnerKind::L1 &&
+            e->ownerIndex == self && e->numL1Holders() == 1 &&
+            e->l2Copies == 0) {
+            ++l1Hits_;
+            tx->level = ServiceLevel::LocalL1;
+            finish(tx, t0 + cfg_.l1Latency);
+            return;
+        }
+    }
+
+    if (tx->isUpgrade) {
+        // Data is local; only the token collection round trip remains.
+        const NodeId home = topo_.bankNode(map_.sharedBank(tx->addr));
+        const Cycle t_home = mesh_.deliveryTime(
+            tx->reqNode, home, cfg_.ctrlMsgBytes, t0);
+        const Cycle acks = collectTokens(*tx, t_home);
+        tx->level = ServiceLevel::LocalL1;
+        finish(tx, std::max(acks, t0 + cfg_.l1Latency));
+        return;
+    }
+    org_.search(*tx);
+}
+
+void
+Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
+                WayPred match, NodeId from_node, Cycle t,
+                std::function<void(int, Cycle)> cb)
+{
+    const NodeId node = topo_.bankNode(bank);
+    const Cycle arrival =
+        mesh_.deliveryTime(from_node, node, cfg_.ctrlMsgBytes, t);
+    CacheBank &b = org_.bank(bank);
+    const Cycle tag_done = b.tagProbe(arrival);
+    // The tag match is evaluated when the probe event fires, so a block
+    // migrated or displaced in the meantime is genuinely missed (the
+    // "false misses due to migrating blocks" of token coherence).
+    eq_.scheduleAt(tag_done, [this, &tx, &b, set_index,
+                              match = std::move(match),
+                              cb = std::move(cb), tag_done]() {
+        const int way = b.find(set_index, tx.addr, match);
+        // Demand-stream accounting for the monitor and learning policies
+        // (h = 1 only on a first-class hit, paper 3.3).
+        const BlockInfo *e = dir_.find(tx.addr);
+        const BlockClass demand_cls = (e && e->sharedStatus)
+                                          ? BlockClass::Shared
+                                          : BlockClass::Private;
+        const bool fc_hit =
+            way != kNoWay && isFirstClass(b.meta(set_index, way).cls);
+        b.recordDemand(set_index, tx.addr, demand_cls, fc_hit);
+        cb(way, tag_done);
+    });
+}
+
+void
+Protocol::l2Hit(Transaction &tx, BankId bank, std::uint32_t set_index,
+                int way, Cycle tag_done)
+{
+    ESP_ASSERT(!tx.servedByL2, "double l2Hit");
+    // Revalidate: the block may have been displaced or migrated between
+    // the probe and this call.
+    const int live_way = org_.bank(bank).findAny(set_index, tx.addr);
+    if (live_way == kNoWay) {
+        l2Miss(tx, topo_.bankNode(bank), tag_done);
+        return;
+    }
+    way = live_way;
+    tx.servedByL2 = true;
+    tx.hitBank = bank;
+    tx.hitSet = set_index;
+    tx.hitWay = way;
+
+    CacheBank &b = org_.bank(bank);
+    b.touch(set_index, way);
+    if (b.meta(set_index, way).hits < 255)
+        ++b.meta(set_index, way).hits;
+    const Cycle data_done = b.dataAccess(tag_done);
+    const NodeId node = topo_.bankNode(bank);
+    const Cycle data_at_req =
+        mesh_.deliveryTime(node, tx.reqNode, cfg_.dataMsgBytes, data_done);
+
+    // Attribution: requester's partition -> local/private; the shared
+    // home bank -> shared; any other bank -> remote L2.
+    if (map_.isLocalBank(tx.core, bank))
+        tx.level = ServiceLevel::LocalPrivateL2;
+    else if (bank == map_.sharedBank(tx.addr))
+        tx.level = ServiceLevel::SharedL2;
+    else
+        tx.level = ServiceLevel::RemoteL2;
+
+    Cycle completion = data_at_req;
+    if (tx.isWrite) {
+        // Token collection is ordered at the home bank (TokenD).
+        const NodeId home = topo_.bankNode(map_.sharedBank(tx.addr));
+        const Cycle t_home =
+            node == home
+                ? data_done
+                : mesh_.deliveryTime(node, home, cfg_.ctrlMsgBytes,
+                                     data_done);
+        completion = std::max(completion, collectTokens(tx, t_home));
+    } else {
+        org_.onL2ReadHit(tx, bank, set_index, way, data_done);
+    }
+    finish(&tx, completion);
+}
+
+void
+Protocol::l2Miss(Transaction &tx, NodeId last_node, Cycle t)
+{
+    ESP_ASSERT(!tx.servedByL2, "l2Miss after l2Hit");
+    const NodeId home = topo_.bankNode(map_.sharedBank(tx.addr));
+    const Cycle t_home =
+        last_node == home
+            ? t
+            : mesh_.deliveryTime(last_node, home, cfg_.ctrlMsgBytes, t);
+
+    // TokenD: the home directory knows the L1 holders.
+    const BlockInfo *e = dir_.find(tx.addr);
+    const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    L1Id source = 0;
+    bool have_source = false;
+    if (e && e->l1Holders != 0) {
+        if (e->ownerKind == OwnerKind::L1 && e->ownerIndex != self) {
+            source = static_cast<L1Id>(e->ownerIndex);
+            have_source = true;
+        } else {
+            // Nearest holder to the requester supplies the data.
+            std::uint32_t best_hops = ~0u;
+            for (L1Id h = 0; h < cfg_.numCores * 2; ++h) {
+                if (h == self || !e->hasL1Holder(h))
+                    continue;
+                const std::uint32_t d = topo_.hops(
+                    tx.reqNode, topo_.coreNode(coreOfL1(h)));
+                if (d < best_hops) {
+                    best_hops = d;
+                    source = h;
+                    have_source = true;
+                }
+            }
+        }
+    }
+
+    if (have_source) {
+        const NodeId src_node = topo_.coreNode(coreOfL1(source));
+        const Cycle t_fwd = mesh_.deliveryTime(
+            home, src_node, cfg_.ctrlMsgBytes, t_home);
+        // Forwarded L1s respond after an L1 array read.
+        const Cycle data_at_req = mesh_.deliveryTime(
+            src_node, tx.reqNode, cfg_.dataMsgBytes,
+            t_fwd + cfg_.l1Latency);
+        tx.level = ServiceLevel::RemoteL1;
+        Cycle completion = data_at_req;
+        if (tx.isWrite)
+            completion = std::max(completion, collectTokens(tx, t_home));
+        finish(&tx, completion);
+        return;
+    }
+
+    // Directory-guided remote L2 copy (e.g. a peer tile holding a spilled
+    // or replicated block in the private-cache organizations): the home
+    // directory forwards the request to the nearest holding bank.
+    if (e != nullptr && e->l2Copies != 0) {
+        BankId src_bank = kInvalidBank;
+        std::uint32_t best_hops = ~0u;
+        for (BankId b = 0; b < cfg_.l2Banks; ++b) {
+            if (!e->hasL2Copy(b))
+                continue;
+            const std::uint32_t d =
+                topo_.hops(tx.reqNode, topo_.bankNode(b));
+            if (d < best_hops) {
+                best_hops = d;
+                src_bank = b;
+            }
+        }
+        const auto [set, way] = org_.findCopy(src_bank, tx.addr);
+        ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
+        const NodeId bank_node = topo_.bankNode(src_bank);
+        const Cycle t_fwd = mesh_.deliveryTime(
+            home, bank_node, cfg_.ctrlMsgBytes, t_home);
+        CacheBank &b = org_.bank(src_bank);
+        const Cycle data_done = b.dataAccess(b.tagProbe(t_fwd));
+        const Cycle data_at_req = mesh_.deliveryTime(
+            bank_node, tx.reqNode, cfg_.dataMsgBytes, data_done);
+        b.touch(set, way);
+        tx.servedByL2 = true;
+        tx.hitBank = src_bank;
+        tx.hitSet = set;
+        tx.hitWay = way;
+        if (map_.isLocalBank(tx.core, src_bank))
+            tx.level = ServiceLevel::LocalPrivateL2;
+        else if (src_bank == map_.sharedBank(tx.addr))
+            tx.level = ServiceLevel::SharedL2;
+        else
+            tx.level = ServiceLevel::RemoteL2;
+        Cycle completion = data_at_req;
+        if (tx.isWrite)
+            completion = std::max(completion, collectTokens(tx, t_home));
+        else
+            org_.onL2ReadHit(tx, src_bank, set, way, data_done);
+        finish(&tx, completion);
+        return;
+    }
+
+    // Off chip.
+    if (!tx.memStarted)
+        startMemory(tx, home, t_home);
+    tx.level = ServiceLevel::OffChip;
+    Cycle completion = std::max(tx.memDataAtReq, t_home);
+    if (tx.isWrite)
+        completion = std::max(completion, collectTokens(tx, t_home));
+    finish(&tx, completion);
+}
+
+void
+Protocol::startMemory(Transaction &tx, NodeId from_node, Cycle t)
+{
+    if (tx.memStarted)
+        return;
+    tx.memStarted = true;
+    const std::uint32_t mc = map_.memController(tx.addr);
+    const NodeId mc_node = topo_.memNode(mc);
+    const Cycle t_req =
+        mesh_.deliveryTime(from_node, mc_node, cfg_.ctrlMsgBytes, t);
+    const Cycle t_ready = mcs_[mc].access(t_req);
+    tx.memDataAtReq = mesh_.deliveryTime(mc_node, tx.reqNode,
+                                         cfg_.dataMsgBytes, t_ready);
+    ++offChipFetches_;
+}
+
+Cycle
+Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
+{
+    const BlockInfo *e = dir_.find(tx.addr);
+    if (e == nullptr)
+        return t_ordering;
+    const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    Cycle last_ack = t_ordering;
+    const NodeId home = topo_.bankNode(map_.sharedBank(tx.addr));
+
+    // Invalidate every other L1 holder.
+    std::vector<L1Id> l1_targets;
+    for (L1Id h = 0; h < cfg_.numCores * 2; ++h)
+        if (h != self && e->hasL1Holder(h))
+            l1_targets.push_back(h);
+    for (L1Id h : l1_targets) {
+        const NodeId n = topo_.coreNode(coreOfL1(h));
+        const Cycle t_inv =
+            mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
+        const Cycle t_ack = mesh_.deliveryTime(
+            n, tx.reqNode, cfg_.ctrlMsgBytes, t_inv + cfg_.l1TagLatency);
+        last_ack = std::max(last_ack, t_ack);
+        ++invalsSent_;
+        dropL1Copy(tx.addr, h);
+    }
+
+    // Invalidate every L2 copy (tokens flow to the writer).
+    std::vector<BankId> l2_targets;
+    e = dir_.find(tx.addr); // may have been released above
+    if (e != nullptr) {
+        for (BankId b = 0; b < cfg_.l2Banks; ++b)
+            if (e->hasL2Copy(b))
+                l2_targets.push_back(b);
+    }
+    for (BankId b : l2_targets) {
+        const NodeId n = topo_.bankNode(b);
+        const Cycle t_inv =
+            mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
+        const Cycle t_ack = mesh_.deliveryTime(
+            n, tx.reqNode, cfg_.ctrlMsgBytes,
+            t_inv + cfg_.l2TagLatency);
+        last_ack = std::max(last_ack, t_ack);
+        ++invalsSent_;
+        const auto [set, way] = org_.findCopy(b, tx.addr);
+        ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
+        org_.bank(b).invalidate(set, way);
+        dir_.removeL2(tx.addr, b);
+    }
+    return last_ack;
+}
+
+void
+Protocol::sweepForWrite(Transaction &tx)
+{
+    const BlockInfo *e = dir_.find(tx.addr);
+    if (e == nullptr)
+        return;
+    const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    std::vector<L1Id> l1_targets;
+    for (L1Id h = 0; h < cfg_.numCores * 2; ++h)
+        if (h != self && e->hasL1Holder(h))
+            l1_targets.push_back(h);
+    for (L1Id h : l1_targets)
+        dropL1Copy(tx.addr, h);
+    e = dir_.find(tx.addr);
+    if (e == nullptr)
+        return;
+    std::vector<BankId> l2_targets;
+    for (BankId b = 0; b < cfg_.l2Banks; ++b)
+        if (e->hasL2Copy(b))
+            l2_targets.push_back(b);
+    for (BankId b : l2_targets) {
+        const auto [set, way] = org_.findCopy(b, tx.addr);
+        ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
+        org_.bank(b).invalidate(set, way);
+        dir_.removeL2(tx.addr, b);
+    }
+}
+
+void
+Protocol::dropL1Copy(Addr a, L1Id id)
+{
+    l1s_[id].invalidate(a);
+    dir_.removeL1(a, id);
+}
+
+void
+Protocol::writebackToMemory(Addr a, NodeId from_node, Cycle t)
+{
+    const std::uint32_t mc = map_.memController(a);
+    const NodeId mc_node = topo_.memNode(mc);
+    const Cycle arrival =
+        mesh_.deliveryTime(from_node, mc_node, cfg_.dataMsgBytes, t);
+    mcs_[mc].access(arrival);
+    ++writebacks_;
+}
+
+void
+Protocol::fillRequesterL1(Transaction &tx)
+{
+    const L1Id id = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    L1Cache &l1 = l1s_[id];
+    const Cycle t = eq_.now();
+
+    // Refresh path: the block is already resident (write upgrade, or a
+    // lock-serialized read filled it before this same-core write/read).
+    const int resident = l1.lookup(tx.addr);
+    if (resident != kNoWay) {
+        BlockMeta &m = l1.meta(tx.addr, resident);
+        l1.touch(tx.addr, resident);
+        if (tx.isWrite) {
+            m.dirty = true;
+            m.hasOwnerToken = true;
+            dir_.setOwner(tx.addr, OwnerKind::L1, id);
+        }
+        return;
+    }
+
+    bool owner = tx.isWrite;
+    if (!tx.isWrite) {
+        // A read fill takes the owner token only when nobody else can
+        // act as the on-chip supplier.
+        const BlockInfo *e = dir_.find(tx.addr);
+        owner = e == nullptr || (!e->onChip());
+    }
+    const BlockMeta evicted = l1.fill(tx.addr, tx.isWrite, owner);
+    dir_.addL1(tx.addr, id, owner);
+    if (tx.isWrite) {
+        const BlockInfo *e = dir_.find(tx.addr);
+        ESP_ASSERT(e && e->numL1Holders() == 1 && e->l2Copies == 0,
+                   "writer is not the sole holder");
+        dir_.setOwner(tx.addr, OwnerKind::L1, id);
+    }
+    if (evicted.valid)
+        handleL1Eviction(tx.core, id, evicted, t);
+}
+
+void
+Protocol::handleL1Eviction(CoreId c, L1Id id, const BlockMeta &evicted,
+                           Cycle t)
+{
+    // Let the organization place the block first so the directory entry
+    // (and the block's private/shared status) survives the L1 -> L2
+    // move; only then clear the L1 holder bit.
+    const bool stored = org_.onL1Eviction(c, evicted, t);
+    dir_.removeL1(evicted.addr, id);
+    if (!stored && evicted.dirty)
+        writebackToMemory(evicted.addr, topo_.coreNode(c), t);
+}
+
+void
+Protocol::attribute(Transaction &tx, Cycle completion)
+{
+    auto &ls = levels_[static_cast<std::size_t>(tx.level)];
+    for (const auto &w : tx.waiters) {
+        ++ls.count;
+        ls.totalLatency += completion - w.issue;
+    }
+}
+
+void
+Protocol::finish(Transaction *tx, Cycle completion)
+{
+    completion = std::max(completion, eq_.now());
+
+    eq_.scheduleAt(completion, [this, id = tx->id, completion]() {
+        auto it = live_.find(id);
+        ESP_ASSERT(it != live_.end(), "finishing a dead transaction");
+        Transaction *tx = it->second.get();
+
+        // Attribute at completion so waiters that merged in while the
+        // transaction was finishing are counted too.
+        attribute(*tx, completion);
+
+        // Apply the memory-side fill placement for off-chip reads before
+        // the L1 fill so owner-token assignment sees the L2 copy.
+        if (tx->level == ServiceLevel::OffChip && !tx->isWrite)
+            org_.onMemFill(*tx, completion);
+        // Writes sweep once more at completion: our own lock-serialized
+        // history can have recreated copies since collectTokens ran
+        // (e.g. an in-flight upgrade whose L1 line was evicted to L2 by
+        // a same-core fill). Invalidating them here is coherent — they
+        // hold the pre-write data this write supersedes.
+        if (tx->isWrite)
+            sweepForWrite(*tx);
+        fillRequesterL1(*tx);
+
+        // Wake the waiting references.
+        for (auto &w : tx->waiters)
+            w.done(tx->level, completion - w.issue);
+
+        const MshrKey key{tx->core, tx->addr,
+                          tx->type == AccessType::Ifetch, tx->isWrite};
+        mshrs_.erase(key);
+        const Addr a = tx->addr;
+        live_.erase(it);
+        releaseLock(a);
+    });
+}
+
+void
+Protocol::acquireLock(Addr a, std::function<void()> start)
+{
+    auto &q = locks_[a];
+    q.push_back(std::move(start));
+    if (q.size() == 1)
+        q.front()();
+}
+
+void
+Protocol::releaseLock(Addr a)
+{
+    auto it = locks_.find(a);
+    ESP_ASSERT(it != locks_.end() && !it->second.empty(),
+               "releasing an unheld lock");
+    it->second.pop_front();
+    if (it->second.empty()) {
+        locks_.erase(it);
+        return;
+    }
+    // Start the next queued transaction on this block as a fresh event.
+    eq_.schedule(0, [fn = it->second.front()]() { fn(); });
+}
+
+double
+Protocol::onChipLatency() const
+{
+    std::uint64_t count = 0;
+    Cycle total = 0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(ServiceLevel::kNumLevels); ++i) {
+        if (static_cast<ServiceLevel>(i) == ServiceLevel::OffChip)
+            continue;
+        count += levels_[i].count;
+        total += levels_[i].totalLatency;
+    }
+    return count == 0
+        ? 0.0
+        : static_cast<double>(total) / static_cast<double>(count);
+}
+
+} // namespace espnuca

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Transaction-level token-coherence engine (paper 2.3).
+ *
+ * Every L1 miss (or write upgrade) becomes a transaction serialized at a
+ * per-block ordering point (the block lock). The L2 organization under
+ * study drives the on-chip search through Protocol::probe(), and reports
+ * the outcome with l2Hit() / l2Miss(); the protocol then completes the
+ * transaction: data response, token collection for writes (invalidation
+ * fan-out to every holder), L1 fill and eviction handling, and
+ * service-level/latency attribution for the paper's Figure 6
+ * decomposition.
+ *
+ * All latencies are built from real mesh messages (with link contention)
+ * plus bank and memory-controller occupancy.
+ */
+
+#ifndef ESPNUCA_COHERENCE_PROTOCOL_HPP_
+#define ESPNUCA_COHERENCE_PROTOCOL_HPP_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/address_map.hpp"
+#include "coherence/directory.hpp"
+#include "coherence/l1_cache.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/memory_controller.hpp"
+#include "net/mesh.hpp"
+#include "sim/event_queue.hpp"
+
+namespace espnuca {
+
+class L2Org;
+
+/** Completion callback: service level and end-to-end latency in cycles. */
+using OpDone = std::function<void(ServiceLevel, Cycle)>;
+
+/** One in-flight miss transaction. */
+struct Transaction
+{
+    std::uint64_t id = 0;
+    CoreId core = kInvalidCore;
+    AccessType type = AccessType::Load;
+    Addr addr = kInvalidAddr;
+    bool isWrite = false;
+    bool isUpgrade = false;     //!< write hit in L1 lacking all tokens
+    Cycle issueTime = 0;        //!< core issued the reference
+    Cycle searchStart = 0;      //!< request left the L1
+    NodeId reqNode = 0;
+
+    // Search outcome (set by l2Hit / l2Miss).
+    bool servedByL2 = false;
+    BankId hitBank = kInvalidBank;
+    std::uint32_t hitSet = 0;
+    int hitWay = kNoWay;
+
+    // Parallel memory fetch state.
+    bool memStarted = false;
+    Cycle memDataAtReq = 0;     //!< cycle memory data reaches the core
+
+    ServiceLevel level = ServiceLevel::OffChip;
+
+    /** The initiating reference plus any MSHR-merged ones. */
+    struct Waiter
+    {
+        Cycle issue;
+        OpDone done;
+    };
+    std::vector<Waiter> waiters;
+};
+
+/** Per-service-level latency accounting (Figure 6). */
+struct LevelStats
+{
+    std::uint64_t count = 0;
+    Cycle totalLatency = 0;
+};
+
+/** The coherence engine. */
+class Protocol
+{
+  public:
+    Protocol(const SystemConfig &cfg, const Topology &topo, Mesh &mesh,
+             EventQueue &eq, L2Org &org);
+
+    // -- Core-facing interface -----------------------------------------
+
+    /**
+     * Issue one memory reference. `done` fires (as an event) when the
+     * reference completes, with the servicing level and total latency.
+     */
+    void access(CoreId c, AccessType t, Addr a, OpDone done);
+
+    // -- Services used by L2 organizations ------------------------------
+
+    /**
+     * Probe one bank: bills the mesh hop(s) from `from_node`, the bank's
+     * tag occupancy, and calls `cb(way, t_done)` at tag-check completion
+     * (way == kNoWay on miss). The match predicate models the tag
+     * comparison, including the private bit.
+     */
+    void probe(Transaction &tx, BankId bank, std::uint32_t set_index,
+               WayPred match, NodeId from_node, Cycle t,
+               std::function<void(int, Cycle)> cb);
+
+    /** The search found the block in a bank; protocol completes. */
+    void l2Hit(Transaction &tx, BankId bank, std::uint32_t set_index,
+               int way, Cycle tag_done);
+
+    /**
+     * The on-chip L2 search exhausted at `t` with the last step at
+     * `last_node`; the protocol falls back to L1 forwarding or memory.
+     */
+    void l2Miss(Transaction &tx, NodeId last_node, Cycle t);
+
+    /**
+     * Start the off-chip fetch in parallel with the remaining search
+     * (Figure 2b step 2). Idempotent per transaction.
+     */
+    void startMemory(Transaction &tx, NodeId from_node, Cycle t);
+
+    // -- Shared infrastructure accessors --------------------------------
+
+    EventQueue &eq() { return eq_; }
+    Mesh &mesh() { return mesh_; }
+    const Topology &topo() const { return topo_; }
+    const AddressMap &map() const { return map_; }
+    Directory &dir() { return dir_; }
+    const SystemConfig &config() const { return cfg_; }
+    L1Cache &l1(L1Id id) { return l1s_[id]; }
+    MemoryController &memCtrl(std::uint32_t i) { return mcs_[i]; }
+
+    /**
+     * Fire-and-forget block writeback to memory (dirty data leaving the
+     * chip): bills the mesh and controller bandwidth.
+     */
+    void writebackToMemory(Addr a, NodeId from_node, Cycle t);
+
+    /**
+     * Remove an L1 holder as part of an eviction/invalidation and keep
+     * the directory consistent. Does not bill latency (callers do).
+     */
+    void dropL1Copy(Addr a, L1Id id);
+
+    // -- Statistics ------------------------------------------------------
+
+    const LevelStats &levelStats(ServiceLevel l) const
+    {
+        return levels_[static_cast<std::size_t>(l)];
+    }
+    std::uint64_t totalAccesses() const { return accesses_; }
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Transactions() const { return transactions_; }
+    std::uint64_t offChipFetches() const { return offChipFetches_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t invalidationsSent() const { return invalsSent_; }
+    std::uint64_t privatizations() const { return privatizations_; }
+
+    /** Mean on-chip latency of references serviced on chip (Figure 7). */
+    double onChipLatency() const;
+    /** Off-chip service count (Figure 7 "off-chip accesses"). */
+    std::uint64_t offChipServices() const
+    {
+        return levels_[static_cast<std::size_t>(ServiceLevel::OffChip)]
+            .count;
+    }
+
+    /** Number of transactions still in flight (drain check). */
+    std::size_t inFlight() const { return live_.size(); }
+
+    /**
+     * Zero the statistic counters (warmup boundary). Cache and
+     * directory *state* is untouched — only the books reset.
+     */
+    void
+    resetStats()
+    {
+        for (auto &l : levels_)
+            l = LevelStats{};
+        accesses_ = 0;
+        l1Hits_ = 0;
+        transactions_ = 0;
+        offChipFetches_ = 0;
+        writebacks_ = 0;
+        invalsSent_ = 0;
+        privatizations_ = 0;
+    }
+
+  private:
+    struct MshrKey
+    {
+        CoreId core;
+        Addr addr;
+        bool instr;
+        bool write;
+        bool operator==(const MshrKey &) const = default;
+    };
+    struct MshrKeyHash
+    {
+        std::size_t
+        operator()(const MshrKey &k) const
+        {
+            std::size_t h = std::hash<Addr>()(k.addr);
+            h ^= (static_cast<std::size_t>(k.core) << 1) ^
+                 (k.instr ? 0x9e37u : 0) ^ (k.write ? 0x79b9u : 0);
+            return h;
+        }
+    };
+
+    /** Begin a transaction once it holds the block lock. */
+    void begin(Transaction *tx);
+
+    /** Complete: attribute, apply fills/tokens, release lock, wake. */
+    void finish(Transaction *tx, Cycle data_at_req);
+
+    /** Write transactions gather every token: invalidation fan-out. */
+    Cycle collectTokens(Transaction &tx, Cycle t_ordering);
+
+    /** Completion-time sweep of copies recreated since collectTokens. */
+    void sweepForWrite(Transaction &tx);
+
+    /** Fill the requesting L1 and handle the displaced block. */
+    void fillRequesterL1(Transaction &tx);
+
+    /** Handle an L1 eviction (writeback / replica / tile insert). */
+    void handleL1Eviction(CoreId c, L1Id id, const BlockMeta &evicted,
+                          Cycle t);
+
+    /** Attribute a serviced reference to its level. */
+    void attribute(Transaction &tx, Cycle completion);
+
+    void acquireLock(Addr a, std::function<void()> start);
+    void releaseLock(Addr a);
+
+    SystemConfig cfg_;
+    const Topology &topo_;
+    Mesh &mesh_;
+    EventQueue &eq_;
+    L2Org &org_;
+    AddressMap map_;
+    Directory dir_;
+    std::vector<L1Cache> l1s_;
+    std::vector<MemoryController> mcs_;
+
+    std::unordered_map<Addr, std::deque<std::function<void()>>> locks_;
+    std::unordered_map<MshrKey, Transaction *, MshrKeyHash> mshrs_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Transaction>> live_;
+    std::uint64_t nextId_ = 1;
+
+    std::array<LevelStats,
+               static_cast<std::size_t>(ServiceLevel::kNumLevels)>
+        levels_{};
+    std::uint64_t accesses_ = 0;
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t transactions_ = 0;
+    std::uint64_t offChipFetches_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t invalsSent_ = 0;
+    std::uint64_t privatizations_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COHERENCE_PROTOCOL_HPP_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-field helpers used by the address mapping functions (paper Fig. 1b)
+ * and by the shift-based EMA arithmetic (paper eq. 2).
+ */
+
+#ifndef ESPNUCA_COMMON_BITOPS_HPP_
+#define ESPNUCA_COMMON_BITOPS_HPP_
+
+#include <cassert>
+#include <cstdint>
+
+namespace espnuca {
+
+/** Extract bits [lo, lo+width) of v (lo = 0 is the LSB). */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Mask with bits [0, width) set. */
+constexpr std::uint64_t
+maskBits(unsigned width)
+{
+    return width >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+}
+
+/** True when v is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Exact log2 of a power of two. */
+constexpr unsigned
+exactLog2(std::uint64_t v)
+{
+    assert(isPow2(v));
+    return floorLog2(v);
+}
+
+/** Round v up to the next multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPow2(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_BITOPS_HPP_

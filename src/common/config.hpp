@@ -1,0 +1,99 @@
+/**
+ * @file
+ * System configuration (paper Table 2 defaults) shared by every
+ * architecture under study.
+ */
+
+#ifndef ESPNUCA_COMMON_CONFIG_HPP_
+#define ESPNUCA_COMMON_CONFIG_HPP_
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/**
+ * CMP system parameters. Defaults reproduce Table 2 of the paper:
+ * 8 out-of-order cores (64-entry window, 4-wide, 16 outstanding misses),
+ * 32 KB 4-way L1 I/D at 3 cycles, an 8 MB L2 NUCA in 32 16-way banks of
+ * 5 cycles (2-cycle tag), a mesh with 128-bit links and 5-cycle hops
+ * (3-cycle router + 2-cycle link).
+ */
+struct SystemConfig
+{
+    // -- Cores (Table 2: "Core") -------------------------------------
+    std::uint32_t numCores = 8;
+    std::uint32_t windowSize = 64;      //!< out-of-order window entries
+    std::uint32_t issueWidth = 4;       //!< instructions per cycle
+    std::uint32_t maxOutstanding = 16;  //!< outstanding memory requests
+
+    // -- L1 caches (Table 2: "L1 I/D cache") -------------------------
+    std::uint32_t l1SizeBytes = 32 * 1024;
+    std::uint32_t l1Ways = 4;
+    std::uint32_t blockBytes = 64;
+    Cycle l1Latency = 3;                //!< data access
+    Cycle l1TagLatency = 1;             //!< tag-only access
+
+    // -- L2 NUCA (Table 2: "L2 cache") -------------------------------
+    std::uint64_t l2SizeBytes = 8ULL * 1024 * 1024;
+    std::uint32_t l2Banks = 32;
+    std::uint32_t l2Ways = 16;
+    Cycle l2Latency = 5;                //!< sequential data access
+    Cycle l2TagLatency = 2;             //!< tag access
+
+    // -- Network (Table 2: "Network") --------------------------------
+    Cycle routerLatency = 3;
+    Cycle linkLatency = 2;
+    std::uint32_t linkBytes = 16;       //!< 128-bit links
+    std::uint32_t ctrlMsgBytes = 8;     //!< header-only protocol message
+    std::uint32_t dataMsgBytes = 72;    //!< 64 B block + 8 B header
+
+    // -- Memory -------------------------------------------------------
+    Cycle memLatency = 300;             //!< controller + DRAM round trip
+    Cycle memCyclePerAccess = 16;       //!< bandwidth: 1 block / 16 cycles
+    std::uint32_t memControllers = 4;   //!< on the mesh's central row
+
+    // -- ESP-NUCA monitor (paper Section 5.2 chosen values) -----------
+    std::uint32_t emaBits = 8;          //!< b: EMA fixed-point bits
+    std::uint32_t emaShift = 1;         //!< a: alpha = 2^-a (N = 3)
+    std::uint32_t degradationShift = 3; //!< d: tolerated loss = 2^-d
+    std::uint32_t conventionalSamples = 2; //!< sampled conventional sets
+    std::uint32_t referenceSamples = 1;    //!< reference sets per bank
+    std::uint32_t explorerSamples = 1;     //!< explorer sets per bank
+    std::uint32_t monitorPeriod = 64;   //!< set references between updates
+
+    // -- Derived geometry ---------------------------------------------
+    std::uint32_t blockOffsetBits() const { return exactLog2(blockBytes); }
+    std::uint32_t bankBits() const { return exactLog2(l2Banks); } // n
+    std::uint32_t coreBits() const { return exactLog2(numCores); } // p
+    /** Banks in one core's private partition: 2^(n-p). */
+    std::uint32_t banksPerCore() const { return l2Banks / numCores; }
+    std::uint64_t bankBytes() const { return l2SizeBytes / l2Banks; }
+    std::uint32_t
+    l2SetsPerBank() const
+    {
+        return static_cast<std::uint32_t>(
+            bankBytes() / (static_cast<std::uint64_t>(l2Ways) * blockBytes));
+    }
+    std::uint32_t l2IndexBits() const { return exactLog2(l2SetsPerBank()); }
+    std::uint32_t l1Sets() const { return l1SizeBytes / (l1Ways * blockBytes); }
+
+    /** Total token count per block (see DESIGN.md 5.2). */
+    std::uint32_t totalTokens() const { return 64; }
+
+    /** Sanity-check the configuration; returns false when inconsistent. */
+    bool
+    valid() const
+    {
+        return isPow2(numCores) && isPow2(l2Banks) && isPow2(blockBytes) &&
+               isPow2(l1Ways) && isPow2(l2Ways) && l2Banks >= numCores &&
+               isPow2(l2SetsPerBank()) && isPow2(l1Sets()) &&
+               isPow2(memControllers);
+    }
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_CONFIG_HPP_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal gem5-style status/error helpers: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform() for
+ * status messages.
+ */
+
+#ifndef ESPNUCA_COMMON_LOG_HPP_
+#define ESPNUCA_COMMON_LOG_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace espnuca {
+
+namespace detail {
+
+[[noreturn]] inline void
+die(const char *kind, const char *file, int line, const std::string &msg,
+    bool core_dump)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    if (core_dump)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Internal invariant violated: a simulator bug. Aborts. */
+#define ESP_PANIC(msg) \
+    ::espnuca::detail::die("panic", __FILE__, __LINE__, (msg), true)
+
+/** Unrecoverable user/configuration error. Exits with status 1. */
+#define ESP_FATAL(msg) \
+    ::espnuca::detail::die("fatal", __FILE__, __LINE__, (msg), false)
+
+/** Release-mode-checked invariant. */
+#define ESP_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) \
+            ESP_PANIC(std::string("assertion failed: ") + #cond + \
+                      " -- " + (msg)); \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_LOG_HPP_

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used by the
+ * workload generators and the randomized policies (e.g., Cooperative
+ * Caching's cooperation probability). All simulator randomness flows from
+ * seeded instances of this class, so runs are exactly reproducible.
+ */
+
+#ifndef ESPNUCA_COMMON_RNG_HPP_
+#define ESPNUCA_COMMON_RNG_HPP_
+
+#include <cstdint>
+
+namespace espnuca {
+
+/**
+ * xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+ * seeded through SplitMix64 so any 64-bit seed yields a good state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the full state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 to expand the seed into 4 words of state.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        for (auto &w : state_)
+            w = next();
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t x, int k) {
+            return (x << k) | (x >> (64 - k));
+        };
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation, biased variant
+        // is fine for simulation workloads (bias < 2^-64 * bound).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_RNG_HPP_

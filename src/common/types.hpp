@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared by every subsystem.
+ */
+
+#ifndef ESPNUCA_COMMON_TYPES_HPP_
+#define ESPNUCA_COMMON_TYPES_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace espnuca {
+
+/** Physical block-aligned address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Simulated time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Core (processor) identifier, 0-based. */
+using CoreId = std::uint32_t;
+
+/** L2 bank identifier, 0-based. */
+using BankId = std::uint32_t;
+
+/** Network node identifier (router index in the mesh). */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kInvalidCore = static_cast<CoreId>(-1);
+
+/** Sentinel for "no bank". */
+inline constexpr BankId kInvalidBank = static_cast<BankId>(-1);
+
+/** Sentinel address. */
+inline constexpr Addr kInvalidAddr = static_cast<Addr>(-1);
+
+/** Kind of memory reference issued by a core. */
+enum class AccessType : std::uint8_t {
+    Load,
+    Store,
+    Ifetch,
+};
+
+/** Human-readable access type name (for logs and stats). */
+inline const char *
+toString(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load: return "load";
+      case AccessType::Store: return "store";
+      case AccessType::Ifetch: return "ifetch";
+    }
+    return "?";
+}
+
+/**
+ * Classification of an L2-resident block (paper Section 3.1).
+ *
+ * Private and Shared are the paper's "first-class" blocks; Replica and
+ * Victim are the "helping" blocks that ESP-NUCA adds on top of SP-NUCA.
+ */
+enum class BlockClass : std::uint8_t {
+    Private,    //!< first-class: accessed by exactly one core so far
+    Shared,     //!< first-class: accessed by two or more cores
+    Replica,    //!< helping: local copy of a shared block
+    Victim,     //!< helping: remote private block kept in the shared space
+};
+
+/** True for the paper's "first-class" block classes. */
+inline bool
+isFirstClass(BlockClass c)
+{
+    return c == BlockClass::Private || c == BlockClass::Shared;
+}
+
+/** True for the paper's "helping" block classes (replicas and victims). */
+inline bool
+isHelping(BlockClass c)
+{
+    return c == BlockClass::Replica || c == BlockClass::Victim;
+}
+
+/** Human-readable block class name. */
+inline const char *
+toString(BlockClass c)
+{
+    switch (c) {
+      case BlockClass::Private: return "private";
+      case BlockClass::Shared: return "shared";
+      case BlockClass::Replica: return "replica";
+      case BlockClass::Victim: return "victim";
+    }
+    return "?";
+}
+
+/**
+ * Where a memory reference was finally serviced. Used for the paper's
+ * Figure 6 access-time decomposition.
+ */
+enum class ServiceLevel : std::uint8_t {
+    LocalL1,        //!< hit in the requester's own L1
+    RemoteL1,       //!< data forwarded from another core's L1
+    LocalPrivateL2, //!< hit in the requester's private L2 partition
+    SharedL2,       //!< hit in the block's shared home bank
+    RemoteL2,       //!< hit in a remote (another core's private) L2 bank
+    OffChip,        //!< serviced by a memory controller
+    kNumLevels,
+};
+
+/** Human-readable service level name. */
+inline const char *
+toString(ServiceLevel l)
+{
+    switch (l) {
+      case ServiceLevel::LocalL1: return "local-l1";
+      case ServiceLevel::RemoteL1: return "remote-l1";
+      case ServiceLevel::LocalPrivateL2: return "local-private-l2";
+      case ServiceLevel::SharedL2: return "shared-l2";
+      case ServiceLevel::RemoteL2: return "remote-l2";
+      case ServiceLevel::OffChip: return "off-chip";
+      default: return "?";
+    }
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_TYPES_HPP_

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Experiment runner: repeats each (architecture, workload) data point
+ * over several seeded runs with workload perturbation, reports mean and
+ * 95 % confidence interval (paper Section 4.2), and provides the
+ * normalization and table-printing helpers the figure benches share.
+ */
+
+#ifndef ESPNUCA_HARNESS_EXPERIMENT_HPP_
+#define ESPNUCA_HARNESS_EXPERIMENT_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/system.hpp"
+#include "stats/running_stats.hpp"
+
+namespace espnuca {
+
+/** Aggregated outcome of several seeded runs of one data point. */
+struct DataPoint
+{
+    std::string arch;
+    std::string workload;
+    RunningStats throughput;
+    RunningStats avgIpc;
+    RunningStats avgAccessTime;
+    RunningStats onChipLatency;
+    RunningStats offChip;
+    std::array<RunningStats,
+               static_cast<std::size_t>(ServiceLevel::kNumLevels)>
+        levelContribution;
+    RunResult lastRun; //!< one representative run (diagnostics)
+};
+
+/** Experiment configuration shared by the benches. */
+struct ExperimentConfig
+{
+    SystemConfig system;
+    std::uint64_t opsPerCore = 60'000;
+    std::uint32_t runs = 3;
+    std::uint64_t baseSeed = 12345;
+    double warmupFraction = 0.5; //!< cache warmup before stats start
+
+    /**
+     * Benches honor two environment knobs so the default `for b in
+     * build/bench/*` sweep stays fast while full-fidelity runs remain a
+     * single export away:
+     *   ESPNUCA_OPS   — references per core (default per bench)
+     *   ESPNUCA_RUNS  — seeded runs per data point
+     */
+    static ExperimentConfig
+    fromEnv(std::uint64_t default_ops = 60'000,
+            std::uint32_t default_runs = 3)
+    {
+        ExperimentConfig e;
+        e.opsPerCore = default_ops;
+        e.runs = default_runs;
+        if (const char *s = std::getenv("ESPNUCA_OPS"))
+            e.opsPerCore = std::strtoull(s, nullptr, 10);
+        if (const char *s = std::getenv("ESPNUCA_RUNS"))
+            e.runs = static_cast<std::uint32_t>(
+                std::strtoul(s, nullptr, 10));
+        return e;
+    }
+};
+
+/** Run one data point over the configured seeds. */
+inline DataPoint
+runPoint(const ExperimentConfig &cfg, const std::string &arch,
+         const std::string &workload)
+{
+    DataPoint p;
+    p.arch = arch;
+    p.workload = workload;
+    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
+        const std::uint64_t seed = cfg.baseSeed + r * 7919;
+        const RunResult res =
+            simulate(cfg.system, arch, workload, cfg.opsPerCore, seed,
+                     cfg.warmupFraction);
+        p.throughput.record(res.throughput);
+        p.avgIpc.record(res.avgIpc);
+        p.avgAccessTime.record(res.avgAccessTime);
+        p.onChipLatency.record(res.onChipLatency);
+        p.offChip.record(static_cast<double>(res.offChipAccesses));
+        for (std::size_t i = 0; i < p.levelContribution.size(); ++i)
+            p.levelContribution[i].record(res.levelContribution[i]);
+        p.lastRun = res;
+    }
+    return p;
+}
+
+/** Geometric mean over a set of per-workload values. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x > 0.0 ? x : 1e-12);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Print a standard figure header. */
+inline void
+printHeader(const std::string &title, const ExperimentConfig &cfg)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("ops/core=%llu runs=%u cores=%u L2=%lluMB banks=%u\n",
+                static_cast<unsigned long long>(cfg.opsPerCore),
+                cfg.runs, cfg.system.numCores,
+                static_cast<unsigned long long>(
+                    cfg.system.l2SizeBytes >> 20),
+                cfg.system.l2Banks);
+    std::printf("==============================================================\n");
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_HARNESS_EXPERIMENT_HPP_

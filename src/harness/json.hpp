@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable experiment output. Emits
+ * deterministic, correctly escaped JSON without external dependencies;
+ * enough for RunResult/DataPoint serialization (no parsing).
+ */
+
+#ifndef ESPNUCA_HARNESS_JSON_HPP_
+#define ESPNUCA_HARNESS_JSON_HPP_
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace espnuca {
+
+/** Streaming JSON builder with explicit begin/end nesting. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** Serialized document (valid once all scopes are closed). */
+    std::string str() const { return out_.str(); }
+
+    JsonWriter &
+    beginObject()
+    {
+        comma();
+        out_ << "{";
+        stack_.push_back(State::FirstInObject);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        pop();
+        out_ << "}";
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        comma();
+        out_ << "[";
+        stack_.push_back(State::FirstInArray);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        pop();
+        out_ << "]";
+        return *this;
+    }
+
+    /** Emit a key (inside an object); follow with a value call. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        comma();
+        writeString(k);
+        out_ << ":";
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        comma();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        comma();
+        if (std::isfinite(v)) {
+            std::ostringstream tmp;
+            tmp.precision(12);
+            tmp << v;
+            out_ << tmp.str();
+        } else {
+            out_ << "null";
+        }
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        comma();
+        out_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        comma();
+        out_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(static_cast<std::int64_t>(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        comma();
+        out_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    enum class State { FirstInObject, InObject, FirstInArray, InArray };
+
+    void
+    comma()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false;
+            return; // value directly follows its key
+        }
+        if (stack_.empty())
+            return;
+        State &s = stack_.back();
+        if (s == State::InObject || s == State::InArray)
+            out_ << ",";
+        else
+            s = s == State::FirstInObject ? State::InObject
+                                          : State::InArray;
+    }
+
+    void
+    pop()
+    {
+        if (!stack_.empty()) {
+            // Entering a container consumed the "first" state; after
+            // closing, the parent has one more element.
+            stack_.pop_back();
+            if (!stack_.empty() && stack_.back() == State::FirstInObject)
+                stack_.back() = State::InObject;
+            else if (!stack_.empty() &&
+                     stack_.back() == State::FirstInArray)
+                stack_.back() = State::InArray;
+        }
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        out_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ << "\\\""; break;
+              case '\\': out_ << "\\\\"; break;
+              case '\n': out_ << "\\n"; break;
+              case '\r': out_ << "\\r"; break;
+              case '\t': out_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out_ << buf;
+                } else {
+                    out_ << c;
+                }
+            }
+        }
+        out_ << '"';
+    }
+
+    std::ostringstream out_;
+    std::vector<State> stack_;
+    bool pendingValue_ = false;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_HARNESS_JSON_HPP_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Machine-readable serialization of experiment results: JSON documents
+ * and CSV rows for RunResult and DataPoint, so downstream tooling
+ * (plots, regression tracking) can consume the harness output directly.
+ */
+
+#ifndef ESPNUCA_HARNESS_REPORT_HPP_
+#define ESPNUCA_HARNESS_REPORT_HPP_
+
+#include <ostream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+
+namespace espnuca {
+
+/** One run as a JSON object (written into an open writer). */
+inline void
+writeRunJson(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    w.field("arch", r.arch);
+    w.field("workload", r.workload);
+    w.field("cycles", static_cast<std::uint64_t>(r.cycles));
+    w.field("instructions", r.instructions);
+    w.field("mem_ops", r.memOps);
+    w.field("throughput_ipc", r.throughput);
+    w.field("avg_ipc", r.avgIpc);
+    w.field("avg_access_time", r.avgAccessTime);
+    w.field("off_chip_accesses", r.offChipAccesses);
+    w.field("on_chip_latency", r.onChipLatency);
+    w.field("l2_demand_accesses", r.l2DemandAccesses);
+    w.field("l2_demand_hits", r.l2DemandHits);
+    w.field("network_flits", r.networkFlits);
+    w.field("privatizations", r.privatizations);
+    w.field("mean_nmax", r.meanNmax);
+    w.key("service_levels").beginObject();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(ServiceLevel::kNumLevels); ++i) {
+        w.key(toString(static_cast<ServiceLevel>(i)));
+        w.beginObject();
+        w.field("count", r.levelCounts[i]);
+        w.field("cycles_per_ref", r.levelContribution[i]);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+/** One run as a standalone JSON document. */
+inline std::string
+runToJson(const RunResult &r)
+{
+    JsonWriter w;
+    writeRunJson(w, r);
+    return w.str();
+}
+
+/** One aggregated data point (mean +/- CI) as a JSON object. */
+inline void
+writePointJson(JsonWriter &w, const DataPoint &p)
+{
+    w.beginObject();
+    w.field("arch", p.arch);
+    w.field("workload", p.workload);
+    auto stat = [&w](const char *name, const RunningStats &s) {
+        w.key(name).beginObject();
+        w.field("mean", s.mean());
+        w.field("ci95", s.ci95());
+        w.field("runs", s.count());
+        w.endObject();
+    };
+    stat("throughput_ipc", p.throughput);
+    stat("avg_ipc", p.avgIpc);
+    stat("avg_access_time", p.avgAccessTime);
+    stat("on_chip_latency", p.onChipLatency);
+    stat("off_chip_accesses", p.offChip);
+    w.endObject();
+}
+
+/** CSV header matching runToCsv. */
+inline std::string
+csvHeader()
+{
+    return "arch,workload,cycles,instructions,mem_ops,throughput_ipc,"
+           "avg_ipc,avg_access_time,off_chip_accesses,on_chip_latency,"
+           "l2_demand_accesses,l2_demand_hits,network_flits,"
+           "privatizations,mean_nmax";
+}
+
+/** One run as a CSV row (no trailing newline). */
+inline std::string
+runToCsv(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.arch << ',' << r.workload << ',' << r.cycles << ','
+       << r.instructions << ',' << r.memOps << ',' << r.throughput << ','
+       << r.avgIpc << ',' << r.avgAccessTime << ',' << r.offChipAccesses
+       << ',' << r.onChipLatency << ',' << r.l2DemandAccesses << ','
+       << r.l2DemandHits << ',' << r.networkFlits << ','
+       << r.privatizations << ',' << r.meanNmax;
+    return os.str();
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_HARNESS_REPORT_HPP_

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Full-system assembly: topology + mesh + memory controllers + coherence
+ * protocol + one L2 organization + 8 trace cores, with a single run()
+ * producing the metrics every figure of the paper consumes.
+ */
+
+#ifndef ESPNUCA_HARNESS_SYSTEM_HPP_
+#define ESPNUCA_HARNESS_SYSTEM_HPP_
+
+#include <array>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "arch/arch_factory.hpp"
+#include "stats/stats_registry.hpp"
+#include "coherence/protocol.hpp"
+#include "cpu/trace_core.hpp"
+#include "workload/presets.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace espnuca {
+
+/** Outcome of one simulated run. */
+struct RunResult
+{
+    std::string arch;
+    std::string workload;
+    Cycle cycles = 0;              //!< makespan (all active cores done)
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    double throughput = 0.0;       //!< instructions / makespan cycle
+    double avgIpc = 0.0;           //!< mean per-core IPC (active cores)
+
+    // Access-time decomposition (Figure 6): average cycles per memory
+    // reference contributed by each service level.
+    std::array<double, static_cast<std::size_t>(ServiceLevel::kNumLevels)>
+        levelContribution{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(ServiceLevel::kNumLevels)>
+        levelCounts{};
+    double avgAccessTime = 0.0;    //!< sum of the contributions
+
+    // Figure 7 metrics.
+    std::uint64_t offChipAccesses = 0;
+    double onChipLatency = 0.0;
+
+    // Diagnostics.
+    std::uint64_t l2DemandAccesses = 0;
+    std::uint64_t l2DemandHits = 0;
+    std::uint64_t networkFlits = 0;
+    std::uint64_t privatizations = 0;
+    double meanNmax = 0.0;         //!< ESP-NUCA only
+};
+
+/** One assembled CMP instance (one architecture, one workload, one seed). */
+class System
+{
+  public:
+    /**
+     * @param warmup_fraction fraction of the total reference count run
+     *        before the statistics reset (cache warmup; paper-style
+     *        measurements use ~0.4, unit tests use 0)
+     */
+    System(const SystemConfig &cfg, const std::string &arch_name,
+           const Workload &wl, std::uint64_t seed,
+           double warmup_fraction = 0.0)
+        : cfg_(cfg), topo_(cfg), eq_(), mesh_(topo_, eq_),
+          org_(makeArch(arch_name, cfg, seed)),
+          proto_(cfg, topo_, mesh_, eq_, *org_), archName_(arch_name),
+          workloadName_(wl.name)
+    {
+        ESP_ASSERT(cfg.valid(), "inconsistent system configuration");
+        ESP_ASSERT(wl.cores.size() == cfg.numCores,
+                   "workload core count mismatch");
+        std::uint64_t total_ops = 0;
+        for (const auto &p : wl.cores)
+            total_ops += p.ops;
+        warmupThreshold_ = static_cast<std::uint64_t>(
+            warmup_fraction * static_cast<double>(total_ops));
+        MemoryIssueFn issue = [this](CoreId c, AccessType t, Addr a,
+                                     std::function<void(ServiceLevel,
+                                                        Cycle)> done) {
+            if (++issued_ == warmupThreshold_)
+                endWarmup();
+            proto_.access(c, t, a, std::move(done));
+        };
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            const StreamParams &p = wl.cores[c];
+            std::unique_ptr<TraceSource> src;
+            if (p.ops > 0) {
+                src = std::make_unique<SyntheticSource>(
+                    cfg, p, seed * 1000003ULL + c);
+                ++activeCores_;
+            }
+            if (src) {
+                cores_.push_back(std::make_unique<TraceCore>(
+                    cfg, c, eq_, issue, std::move(src)));
+            } else {
+                cores_.push_back(nullptr);
+            }
+        }
+    }
+
+    /**
+     * Assemble a system around caller-provided trace sources (replay,
+     * capture, custom generators). `sources[c] == nullptr` leaves core
+     * c idle. `total_ops` (if non-zero) sizes the warmup threshold.
+     */
+    System(const SystemConfig &cfg, const std::string &arch_name,
+           const std::string &workload_name,
+           std::vector<std::unique_ptr<TraceSource>> sources,
+           std::uint64_t seed, double warmup_fraction = 0.0,
+           std::uint64_t total_ops = 0)
+        : cfg_(cfg), topo_(cfg), eq_(), mesh_(topo_, eq_),
+          org_(makeArch(arch_name, cfg, seed)),
+          proto_(cfg, topo_, mesh_, eq_, *org_), archName_(arch_name),
+          workloadName_(workload_name)
+    {
+        ESP_ASSERT(cfg.valid(), "inconsistent system configuration");
+        ESP_ASSERT(sources.size() == cfg.numCores,
+                   "need one source slot per core");
+        warmupThreshold_ = static_cast<std::uint64_t>(
+            warmup_fraction * static_cast<double>(total_ops));
+        MemoryIssueFn issue = [this](CoreId c, AccessType t, Addr a,
+                                     std::function<void(ServiceLevel,
+                                                        Cycle)> done) {
+            if (++issued_ == warmupThreshold_)
+                endWarmup();
+            proto_.access(c, t, a, std::move(done));
+        };
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            if (sources[c]) {
+                cores_.push_back(std::make_unique<TraceCore>(
+                    cfg, c, eq_, issue, std::move(sources[c])));
+                ++activeCores_;
+            } else {
+                cores_.push_back(nullptr);
+            }
+        }
+    }
+
+    /**
+     * Kick the cores off without draining the event queue — for callers
+     * that want to interleave simulation with sampling via
+     * eq().runUntil(). Idempotent.
+     */
+    void
+    startCores()
+    {
+        if (started_)
+            return;
+        started_ = true;
+        for (auto &core : cores_)
+            if (core)
+                core->start();
+    }
+
+    /** Execute to completion and harvest the metrics. */
+    RunResult
+    run()
+    {
+        startCores();
+        eq_.run();
+        ESP_ASSERT(proto_.inFlight() == 0,
+                   "transactions still in flight after drain");
+
+        RunResult r;
+        r.arch = archName_;
+        r.workload = workloadName_;
+        double ipc_sum = 0.0;
+        std::uint32_t measured_cores = 0;
+        Cycle last_finish = 0;
+        for (auto &core : cores_) {
+            if (!core)
+                continue;
+            ESP_ASSERT(core->finished(), "core did not finish");
+            last_finish = std::max(last_finish, core->finishCycle());
+            r.instructions += core->measuredInstructions();
+            r.memOps += core->measuredMemOps();
+            if (core->measuredInstructions() > 0) {
+                ipc_sum += core->ipc();
+                ++measured_cores;
+            }
+        }
+        // Makespan of the measured window (post-warmup).
+        r.cycles = last_finish > measStart_ ? last_finish - measStart_
+                                            : last_finish;
+        r.throughput = r.cycles == 0
+            ? 0.0
+            : static_cast<double>(r.instructions) /
+                  static_cast<double>(r.cycles);
+        r.avgIpc = measured_cores == 0 ? 0.0 : ipc_sum / measured_cores;
+
+        std::uint64_t refs = 0;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(ServiceLevel::kNumLevels);
+             ++i) {
+            refs += proto_.levelStats(static_cast<ServiceLevel>(i)).count;
+        }
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(ServiceLevel::kNumLevels);
+             ++i) {
+            const auto &ls =
+                proto_.levelStats(static_cast<ServiceLevel>(i));
+            r.levelCounts[i] = ls.count;
+            r.levelContribution[i] =
+                refs == 0 ? 0.0
+                          : static_cast<double>(ls.totalLatency) /
+                                static_cast<double>(refs);
+            r.avgAccessTime += r.levelContribution[i];
+        }
+        r.offChipAccesses = proto_.offChipServices();
+        r.onChipLatency = proto_.onChipLatency();
+        r.l2DemandAccesses = org_->totalDemandAccesses();
+        r.l2DemandHits = org_->totalDemandHits();
+        r.networkFlits = mesh_.totalFlits();
+        r.privatizations = proto_.privatizations();
+        if (auto *esp = dynamic_cast<EspNuca *>(org_.get()))
+            r.meanNmax = esp->meanNmax();
+        return r;
+    }
+
+    /** Per-core IPC (0 for idle cores; valid after the run drains). */
+    double
+    coreIpc(CoreId c) const
+    {
+        return cores_.at(c) ? cores_.at(c)->ipc() : 0.0;
+    }
+
+    /**
+     * Collect every component's statistics into a registry and dump
+     * them as sorted "name value" lines (gem5-style stats file).
+     */
+    void
+    dumpStats(std::ostream &os)
+    {
+        StatsRegistry reg;
+        reg.counter("sim.cycles").inc(eq_.now());
+        reg.counter("sim.events").inc(eq_.executed());
+        reg.counter("proto.accesses").inc(proto_.totalAccesses());
+        reg.counter("proto.l1_hits").inc(proto_.l1Hits());
+        reg.counter("proto.transactions").inc(proto_.l2Transactions());
+        reg.counter("proto.offchip_fetches").inc(proto_.offChipFetches());
+        reg.counter("proto.writebacks").inc(proto_.writebacks());
+        reg.counter("proto.invals_sent").inc(proto_.invalidationsSent());
+        reg.counter("proto.privatizations").inc(proto_.privatizations());
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(ServiceLevel::kNumLevels);
+             ++i) {
+            const auto &ls =
+                proto_.levelStats(static_cast<ServiceLevel>(i));
+            const std::string base =
+                std::string("level.") +
+                toString(static_cast<ServiceLevel>(i));
+            reg.counter(base + ".count").inc(ls.count);
+            reg.counter(base + ".cycles").inc(ls.totalLatency);
+        }
+        reg.counter("mesh.messages").inc(mesh_.messagesSent());
+        reg.counter("mesh.flits").inc(mesh_.totalFlits());
+        reg.counter("mesh.link_wait").inc(mesh_.totalLinkWait());
+        for (std::uint32_t m = 0; m < cfg_.memControllers; ++m) {
+            const std::string base = "mc." + std::to_string(m);
+            reg.counter(base + ".accesses")
+                .inc(proto_.memCtrl(m).accesses());
+            reg.counter(base + ".queue_wait")
+                .inc(proto_.memCtrl(m).queueWait());
+        }
+        for (BankId b = 0; b < org_->numBanks(); ++b) {
+            const CacheBank &bank = org_->bank(b);
+            const std::string base = "bank." + std::to_string(b);
+            reg.counter(base + ".accesses").inc(bank.accesses());
+            reg.counter(base + ".demand").inc(bank.demandAccesses());
+            reg.counter(base + ".demand_hits").inc(bank.demandHits());
+            reg.counter(base + ".evictions").inc(bank.evictions());
+            if (bank.monitor()) {
+                reg.counter(base + ".nmax").inc(bank.monitor()->nmax());
+            }
+        }
+        for (CoreId c = 0; c < cfg_.numCores; ++c) {
+            if (!cores_[c])
+                continue;
+            const std::string base = "core." + std::to_string(c);
+            reg.counter(base + ".instructions")
+                .inc(cores_[c]->instructions());
+            reg.counter(base + ".mem_ops").inc(cores_[c]->memOps());
+            reg.average(base + ".ipc").record(cores_[c]->ipc());
+        }
+        reg.dump(os);
+    }
+
+    Protocol &protocol() { return proto_; }
+    L2Org &org() { return *org_; }
+    EventQueue &eq() { return eq_; }
+    Mesh &mesh() { return mesh_; }
+    const Topology &topo() const { return topo_; }
+
+  private:
+    /** Warmup boundary: zero every statistic, snapshot every core. */
+    void
+    endWarmup()
+    {
+        proto_.resetStats();
+        mesh_.resetStats();
+        for (std::uint32_t m = 0; m < cfg_.memControllers; ++m)
+            proto_.memCtrl(m).resetStats();
+        for (BankId b = 0; b < org_->numBanks(); ++b)
+            org_->bank(b).resetStats();
+        for (auto &core : cores_)
+            if (core)
+                core->snapshotMeasurement();
+        measStart_ = eq_.now();
+    }
+
+    SystemConfig cfg_;
+    Topology topo_;
+    EventQueue eq_;
+    Mesh mesh_;
+    std::unique_ptr<L2Org> org_;
+    Protocol proto_;
+    std::string archName_;
+    std::string workloadName_;
+    std::vector<std::unique_ptr<TraceCore>> cores_;
+    std::uint32_t activeCores_ = 0;
+    bool started_ = false;
+    std::uint64_t issued_ = 0;
+    std::uint64_t warmupThreshold_ = 0;
+    Cycle measStart_ = 0;
+};
+
+/** Convenience: build + run one (arch, workload, seed) data point. */
+inline RunResult
+simulate(const SystemConfig &cfg, const std::string &arch,
+         const std::string &workload, std::uint64_t ops_per_core,
+         std::uint64_t seed, double warmup_fraction = 0.0)
+{
+    const Workload wl = makeWorkload(workload, cfg, ops_per_core, seed);
+    System sys(cfg, arch, wl, seed, warmup_fraction);
+    return sys.run();
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_HARNESS_SYSTEM_HPP_

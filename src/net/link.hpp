@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Directed mesh link with flit-level bandwidth accounting. Links are
+ * 128 bits wide (Table 2): a 72 B data message serializes into 5 flits,
+ * a control message into 1 flit; the link injects one flit per cycle.
+ *
+ * Because the simulator reserves whole paths analytically (including
+ * hops that will be reached far in the future, e.g. the response leg of
+ * a 300-cycle memory access), occupancy is kept as a small sorted list
+ * of busy intervals rather than a single "free-at" scalar: a message
+ * reserving a far-future window must not block earlier traffic that
+ * physically crosses the wire first (backfilling).
+ */
+
+#ifndef ESPNUCA_NET_LINK_HPP_
+#define ESPNUCA_NET_LINK_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** One direction of a physical channel. */
+class Link
+{
+  public:
+    Link() = default;
+
+    /**
+     * Reserve the link for one message.
+     *
+     * @param head_arrival cycle the message head reaches the link input
+     * @param flits message length in flits (>= 1)
+     * @param latency link traversal latency in cycles
+     * @param horizon current simulation time; intervals wholly in the
+     *        past are pruned (no arrival may precede it)
+     * @return cycle at which the full message has crossed the link
+     */
+    Cycle
+    transmit(Cycle head_arrival, std::uint32_t flits, Cycle latency,
+             Cycle horizon = 0)
+    {
+        prune(horizon);
+        // Earliest conflict-free start >= head_arrival (first fit).
+        Cycle t = head_arrival;
+        std::size_t pos = 0;
+        for (; pos < busy_.size(); ++pos) {
+            const Busy &b = busy_[pos];
+            if (t + flits <= b.start)
+                break; // fits in the gap before this interval
+            if (b.end > t)
+                t = b.end; // pushed past it
+        }
+        busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     Busy{t, t + flits});
+        coalesce(pos);
+        waitCycles_ += t - head_arrival;
+        flitsSent_ += flits;
+        ++messages_;
+        return t + latency + (flits - 1);
+    }
+
+    /** First cycle a new message arriving "now" could start (tests). */
+    Cycle
+    earliestStart(Cycle arrival, std::uint32_t flits) const
+    {
+        Cycle t = arrival;
+        for (const Busy &b : busy_) {
+            if (t + flits <= b.start)
+                break;
+            if (b.end > t)
+                t = b.end;
+        }
+        return t;
+    }
+
+    /** Number of live busy intervals (diagnostics). */
+    std::size_t intervals() const { return busy_.size(); }
+
+    /** Total flits pushed through this link (utilization stat). */
+    std::uint64_t flitsSent() const { return flitsSent_; }
+
+    /** Total messages that crossed this link. */
+    std::uint64_t messages() const { return messages_; }
+
+    /** Accumulated queueing delay suffered at this link. */
+    Cycle waitCycles() const { return waitCycles_; }
+
+    /** Clear occupancy and stats. */
+    void
+    reset()
+    {
+        busy_.clear();
+        resetStats();
+    }
+
+    /** Clear the statistics only (warmup boundary). */
+    void
+    resetStats()
+    {
+        flitsSent_ = 0;
+        messages_ = 0;
+        waitCycles_ = 0;
+    }
+
+  private:
+    struct Busy
+    {
+        Cycle start;
+        Cycle end; //!< exclusive
+    };
+
+    void
+    prune(Cycle horizon)
+    {
+        std::size_t dead = 0;
+        while (dead < busy_.size() && busy_[dead].end <= horizon)
+            ++dead;
+        if (dead > 0)
+            busy_.erase(busy_.begin(),
+                        busy_.begin() + static_cast<std::ptrdiff_t>(dead));
+    }
+
+    /** Merge the interval at `pos` with adjacent touching intervals. */
+    void
+    coalesce(std::size_t pos)
+    {
+        if (pos + 1 < busy_.size() &&
+            busy_[pos].end >= busy_[pos + 1].start) {
+            busy_[pos].end = busy_[pos + 1].end;
+            busy_.erase(busy_.begin() +
+                        static_cast<std::ptrdiff_t>(pos + 1));
+        }
+        if (pos > 0 && busy_[pos - 1].end >= busy_[pos].start) {
+            busy_[pos - 1].end = busy_[pos].end;
+            busy_.erase(busy_.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+    }
+
+    std::vector<Busy> busy_;
+    std::uint64_t flitsSent_ = 0;
+    std::uint64_t messages_ = 0;
+    Cycle waitCycles_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_NET_LINK_HPP_

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Physical layout of the CMP (paper Figure 1a): a 4x3 mesh of routers.
+ * The top row hosts P0..P3, the bottom row hosts P4..P7; each CPU router
+ * also hosts that core's 4 nearest L2 banks. The central row's routers
+ * host the memory controllers.
+ */
+
+#ifndef ESPNUCA_NET_TOPOLOGY_HPP_
+#define ESPNUCA_NET_TOPOLOGY_HPP_
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Router grid coordinate. */
+struct Coord
+{
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/**
+ * Static mapping between cores / banks / memory controllers and mesh
+ * nodes. The mesh is `cols` x 3: row 0 holds the first half of the cores,
+ * row 2 the second half, row 1 the memory controllers.
+ */
+class Topology
+{
+  public:
+    explicit Topology(const SystemConfig &cfg)
+        : cfg_(cfg), cols_(cfg.numCores / 2), rows_(3)
+    {
+        ESP_ASSERT(cfg.numCores % 2 == 0, "need an even core count");
+        // Memory controllers spread over the central row; on narrow
+        // meshes several channels may share one router.
+        ESP_ASSERT(cols_ >= 1, "degenerate mesh");
+    }
+
+    std::uint32_t cols() const { return cols_; }
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t numNodes() const { return cols_ * rows_; }
+
+    NodeId
+    nodeAt(Coord c) const
+    {
+        ESP_ASSERT(c.x < cols_ && c.y < rows_, "coordinate out of grid");
+        return c.y * cols_ + c.x;
+    }
+
+    Coord
+    coordOf(NodeId n) const
+    {
+        ESP_ASSERT(n < numNodes(), "node out of grid");
+        return Coord{n % cols_, n / cols_};
+    }
+
+    /** Mesh node of a core's router (L1s and the core live here). */
+    NodeId
+    coreNode(CoreId c) const
+    {
+        ESP_ASSERT(c < cfg_.numCores, "core id out of range");
+        const std::uint32_t row = (c < cols_) ? 0 : 2;
+        const std::uint32_t col = c % cols_;
+        return nodeAt(Coord{col, row});
+    }
+
+    /** Mesh node hosting an L2 bank (4 banks per CPU router). */
+    NodeId
+    bankNode(BankId b) const
+    {
+        ESP_ASSERT(b < cfg_.l2Banks, "bank id out of range");
+        return coreNode(static_cast<CoreId>(b / cfg_.banksPerCore()));
+    }
+
+    /** The core whose private partition a bank belongs to. */
+    CoreId
+    bankOwner(BankId b) const
+    {
+        ESP_ASSERT(b < cfg_.l2Banks, "bank id out of range");
+        return static_cast<CoreId>(b / cfg_.banksPerCore());
+    }
+
+    /** Mesh node of a memory controller (central row, spread over x). */
+    NodeId
+    memNode(std::uint32_t mc) const
+    {
+        ESP_ASSERT(mc < cfg_.memControllers, "controller out of range");
+        const std::uint32_t col =
+            mc * cols_ / cfg_.memControllers;
+        return nodeAt(Coord{col, 1});
+    }
+
+    /** Manhattan hop distance between two nodes. */
+    std::uint32_t
+    hops(NodeId a, NodeId b) const
+    {
+        const Coord ca = coordOf(a), cb = coordOf(b);
+        return static_cast<std::uint32_t>(
+            std::abs(static_cast<int>(ca.x) - static_cast<int>(cb.x)) +
+            std::abs(static_cast<int>(ca.y) - static_cast<int>(cb.y)));
+    }
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    std::uint32_t cols_;
+    std::uint32_t rows_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_NET_TOPOLOGY_HPP_

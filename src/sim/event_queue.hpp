@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. A single global clock in core cycles;
+ * events are closures ordered by (time, insertion sequence) so execution
+ * is fully deterministic.
+ */
+
+#ifndef ESPNUCA_SIM_EVENT_QUEUE_HPP_
+#define ESPNUCA_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Deterministic event queue. Ties at the same cycle fire in insertion
+ * order (FIFO), which both matches hardware intuition (earlier-scheduled
+ * work wins) and guarantees bit-identical runs for a given seed.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** Schedule fn to run `delay` cycles from now. */
+    void
+    schedule(Cycle delay, EventFn fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule fn at an absolute time >= now. */
+    void
+    scheduleAt(Cycle when, EventFn fn)
+    {
+        ESP_ASSERT(when >= now_, "scheduling into the past");
+        heap_.push(Entry{when, seq_++, std::move(fn)});
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Time of the next pending event (queue must be non-empty). */
+    Cycle
+    nextEventTime() const
+    {
+        ESP_ASSERT(!heap_.empty(), "no pending events");
+        return heap_.top().when;
+    }
+
+    /** Execute the single next event, advancing the clock. */
+    void
+    step()
+    {
+        ESP_ASSERT(!heap_.empty(), "stepping an empty queue");
+        // Move the entry out before popping so the callback may schedule.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+    }
+
+    /** Run until the queue drains. */
+    void
+    run()
+    {
+        while (!heap_.empty())
+            step();
+    }
+
+    /**
+     * Run until the queue drains or the clock would pass `limit`.
+     * Events scheduled exactly at `limit` do run.
+     */
+    void
+    runUntil(Cycle limit)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            step();
+        if (now_ < limit && heap_.empty())
+            now_ = limit;
+    }
+
+    /** Total events executed so far (diagnostic). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_SIM_EVENT_QUEUE_HPP_

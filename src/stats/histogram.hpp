@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-bucket histogram for latency distributions and diagnostics.
+ */
+
+#ifndef ESPNUCA_STATS_HISTOGRAM_HPP_
+#define ESPNUCA_STATS_HISTOGRAM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace espnuca {
+
+/** Linear-bucket histogram over [0, bucketWidth * numBuckets). */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+        : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+    {
+        ESP_ASSERT(bucket_width > 0, "bucket width must be positive");
+        ESP_ASSERT(num_buckets > 0, "need at least one bucket");
+    }
+
+    /** Record a sample; values beyond the range land in the last bucket. */
+    void
+    record(std::uint64_t v)
+    {
+        std::size_t idx = static_cast<std::size_t>(v / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+        ++total_;
+        sum_ += v;
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+
+    double
+    mean() const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(sum_) / static_cast<double>(total_);
+    }
+
+    /** Smallest value v such that at least q of the mass is <= bucket(v). */
+    std::uint64_t
+    percentile(double q) const
+    {
+        if (total_ == 0)
+            return 0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(total_));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            seen += buckets_[i];
+            if (seen >= target)
+                return (i + 1) * bucketWidth_ - 1;
+        }
+        return buckets_.size() * bucketWidth_ - 1;
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_STATS_HISTOGRAM_HPP_

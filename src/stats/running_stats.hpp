@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Streaming mean/variance (Welford) plus small-sample 95 % confidence
+ * intervals, used to report each data point as mean +/- CI over several
+ * seeded runs, as the paper does (Section 4.2).
+ */
+
+#ifndef ESPNUCA_STATS_RUNNING_STATS_HPP_
+#define ESPNUCA_STATS_RUNNING_STATS_HPP_
+
+#include <cmath>
+#include <cstdint>
+
+namespace espnuca {
+
+/** Welford streaming moments with t-distribution confidence intervals. */
+class RunningStats
+{
+  public:
+    void
+    record(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1) {
+            min_ = max_ = x;
+        } else {
+            if (x < min_) min_ = x;
+            if (x > max_) max_ = x;
+        }
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Sample variance (n - 1 denominator). */
+    double
+    variance() const
+    {
+        return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Coefficient of variation (stddev / mean). */
+    double
+    cv() const
+    {
+        return mean_ == 0.0 ? 0.0 : stddev() / std::abs(mean_);
+    }
+
+    /**
+     * Half-width of the 95 % confidence interval of the mean using the
+     * two-sided Student t quantile for n - 1 degrees of freedom.
+     */
+    double
+    ci95() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        return t95(n_ - 1) * stddev() / std::sqrt(static_cast<double>(n_));
+    }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        mean_ = m2_ = 0.0;
+        min_ = max_ = 0.0;
+    }
+
+    /** Two-sided 95 % Student t critical value for df degrees of freedom. */
+    static double
+    t95(std::uint64_t df)
+    {
+        static constexpr double table[] = {
+            // df = 1 .. 30
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+            2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+            2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        };
+        if (df == 0)
+            return 0.0;
+        if (df <= 30)
+            return table[df - 1];
+        return 1.960; // normal approximation
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_STATS_RUNNING_STATS_HPP_

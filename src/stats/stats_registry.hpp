@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Named statistic registry: owns counters/averages registered by the
+ * simulator components and dumps them in a stable text format.
+ */
+
+#ifndef ESPNUCA_STATS_STATS_REGISTRY_HPP_
+#define ESPNUCA_STATS_STATS_REGISTRY_HPP_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "stats/counter.hpp"
+
+namespace espnuca {
+
+/**
+ * A flat name -> value store. Components register by name; names use
+ * dotted paths ("l1.0.hits"). The map keeps deterministic (sorted) order
+ * for reproducible dumps.
+ */
+class StatsRegistry
+{
+  public:
+    /** Get (creating on first use) a counter by name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Get (creating on first use) an average by name. */
+    Average &average(const std::string &name) { return averages_[name]; }
+
+    /** Read a counter value; 0 when absent. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Read an average; 0 when absent. */
+    double
+    averageValue(const std::string &name) const
+    {
+        auto it = averages_.find(name);
+        return it == averages_.end() ? 0.0 : it->second.mean();
+    }
+
+    /** Sum all counters whose name starts with the given prefix. */
+    std::uint64_t
+    sumByPrefix(const std::string &prefix) const
+    {
+        std::uint64_t sum = 0;
+        for (auto it = counters_.lower_bound(prefix);
+             it != counters_.end() && it->first.compare(
+                 0, prefix.size(), prefix) == 0;
+             ++it) {
+            sum += it->second.value();
+        }
+        return sum;
+    }
+
+    /** Dump every statistic as "name value" lines. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, c] : counters_)
+            os << name << " " << c.value() << "\n";
+        for (const auto &[name, a] : averages_)
+            os << name << " " << a.mean() << " (n=" << a.count() << ")\n";
+    }
+
+    /** Clear all statistics (values and registrations). */
+    void
+    reset()
+    {
+        counters_.clear();
+        averages_.clear();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_STATS_STATS_REGISTRY_HPP_

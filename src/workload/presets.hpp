@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Presets modelling the 22 workloads of paper Table 1 as parameter sets
+ * of the synthetic generator (DESIGN.md Section 2 documents the
+ * substitution). Parameter choices encode each workload family's
+ * published characteristics:
+ *
+ * - Transactional (apache, jbb, oltp, zeus): high sharing degree, large
+ *   shared code image, substantial OS activity, all 8 cores active.
+ * - SPEC2000 half rate (art, gcc, gzip, mcf, twolf x4): 4 application
+ *   cores + 1 light system-services core; no inter-instance sharing;
+ *   art/mcf have large low-utility footprints, gcc/gzip fit in a tile.
+ * - SPEC2000 hybrid (a-b): 4 instances of each of two programs.
+ * - NAS Parallel Benchmarks (BT..UA): 8 threads, limited sharing, large
+ *   aggregate footprints with significant streaming components.
+ */
+
+#ifndef ESPNUCA_WORKLOAD_PRESETS_HPP_
+#define ESPNUCA_WORKLOAD_PRESETS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace espnuca {
+
+/** A named multi-core workload: one StreamParams per core. */
+struct Workload
+{
+    std::string name;
+    std::vector<StreamParams> cores;
+};
+
+namespace detail {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+/** Per-application single-instance behaviour archetype. */
+struct AppModel
+{
+    double gapMean;
+    double ifetch;
+    std::uint64_t codeBytes;
+    std::uint64_t hotBytes;
+    double zipfTheta;
+    std::uint64_t coldBytes;
+    double coldFraction;
+    double writeFraction;
+    double depFraction; //!< pointer-chasing intensity
+};
+
+/** SPEC2000 single-thread archetypes used by half-rate and hybrid. */
+inline AppModel
+specModel(const std::string &app)
+{
+    // hot/cold sizes chosen so "low utility, big footprint" programs
+    // (art, mcf) overflow a 1 MB private tile but largely fit when the
+    // 8 MB shared L2 is pooled, while gcc/gzip sit comfortably in a tile.
+    if (app == "art")
+        return {2.5, 0.06, 64 * KiB, 1792 * KiB, 0.55, 8 * MiB, 0.10, 0.18, 0.40};
+    if (app == "mcf")
+        return {2.0, 0.05, 64 * KiB, 2560 * KiB, 0.55, 16 * MiB, 0.12, 0.16, 0.50};
+    if (app == "gcc")
+        return {3.5, 0.22, 384 * KiB, 320 * KiB, 0.80, 1 * MiB, 0.01, 0.22, 0.30};
+    if (app == "gzip")
+        return {3.0, 0.10, 96 * KiB, 224 * KiB, 0.82, 2 * MiB, 0.02, 0.25, 0.20};
+    if (app == "twolf")
+        return {3.0, 0.12, 160 * KiB, 640 * KiB, 0.75, 2 * MiB, 0.03, 0.20, 0.35};
+    ESP_FATAL("unknown SPEC application: " + app);
+}
+
+/** NPB thread archetypes (per-thread slices of the >200 MB problems). */
+inline AppModel
+npbModel(const std::string &app)
+{
+    if (app == "BT")
+        return {3.0, 0.10, 192 * KiB, 512 * KiB, 0.78, 6 * MiB, 0.05, 0.28, 0.20};
+    if (app == "CG")
+        return {2.2, 0.06, 96 * KiB, 576 * KiB, 0.74, 8 * MiB, 0.07, 0.12, 0.45};
+    if (app == "FT")
+        return {2.5, 0.07, 128 * KiB, 448 * KiB, 0.72, 12 * MiB, 0.09, 0.30, 0.15};
+    if (app == "IS")
+        return {2.0, 0.04, 48 * KiB, 384 * KiB, 0.68, 10 * MiB, 0.11, 0.35, 0.30};
+    if (app == "LU")
+        return {3.2, 0.09, 160 * KiB, 576 * KiB, 0.80, 4 * MiB, 0.03, 0.26, 0.20};
+    if (app == "MG")
+        return {2.6, 0.07, 112 * KiB, 512 * KiB, 0.76, 8 * MiB, 0.06, 0.24, 0.25};
+    if (app == "SP")
+        return {3.0, 0.09, 176 * KiB, 576 * KiB, 0.78, 6 * MiB, 0.05, 0.28, 0.20};
+    if (app == "UA")
+        return {2.8, 0.08, 144 * KiB, 512 * KiB, 0.74, 7 * MiB, 0.06, 0.22, 0.30};
+    ESP_FATAL("unknown NPB application: " + app);
+}
+
+/** Transactional server archetypes (Wisconsin commercial suite). */
+struct ServerModel
+{
+    double gapMean;
+    double ifetch;
+    std::uint64_t sharedCode;
+    std::uint64_t privCode;
+    std::uint64_t hotBytes;
+    std::uint64_t sharedBytes;
+    double sharedFraction;
+    double writeFraction;
+    double osFraction;
+    double depFraction; //!< pointer-chasing intensity
+};
+
+inline ServerModel
+serverModel(const std::string &app)
+{
+    if (app == "apache")
+        return {3.2, 0.30, 768 * KiB, 96 * KiB, 96 * KiB, 1536 * KiB,
+                0.42, 0.14, 0.12, 0.35};
+    if (app == "jbb")
+        return {3.0, 0.24, 512 * KiB, 128 * KiB, 192 * KiB, 1280 * KiB,
+                0.30, 0.22, 0.05, 0.35};
+    if (app == "oltp")
+        return {2.8, 0.28, 1 * MiB, 96 * KiB, 96 * KiB, 2 * MiB,
+                0.48, 0.24, 0.15, 0.4};
+    if (app == "zeus")
+        return {3.2, 0.28, 640 * KiB, 96 * KiB, 96 * KiB, 1280 * KiB,
+                0.40, 0.15, 0.10, 0.35};
+    ESP_FATAL("unknown server application: " + app);
+}
+
+/** StreamParams from a SPEC/NPB archetype on one core. */
+inline StreamParams
+fromApp(const AppModel &m, CoreId core, std::uint64_t app_id,
+        std::uint64_t ops, std::uint64_t shared_bytes,
+        double shared_fraction)
+{
+    StreamParams p;
+    p.ops = ops;
+    p.gapMean = m.gapMean;
+    p.ifetchFraction = m.ifetch;
+    p.codeBytes = m.codeBytes;
+    // Threads of a parallel program share the binary.
+    p.codeSharedFraction = shared_fraction > 0.0 ? 0.9 : 0.1;
+    p.sharedCodeBytes = m.codeBytes;
+    p.hotBytes = m.hotBytes;
+    p.zipfTheta = m.zipfTheta;
+    p.coldBytes = m.coldBytes;
+    p.coldFraction = m.coldFraction;
+    p.sharedBytes = shared_bytes;
+    p.sharedFraction = shared_fraction;
+    p.writeFraction = m.writeFraction;
+    p.depFraction = m.depFraction;
+    p.osFraction = 0.01;
+    p.appId = app_id;
+    p.coreId = core;
+    return p;
+}
+
+/** The light "system services" stream of the half-rate scenarios. */
+inline StreamParams
+systemServices(CoreId core, std::uint64_t ops)
+{
+    StreamParams p;
+    p.ops = ops / 6;
+    p.gapMean = 4.0;
+    p.ifetchFraction = 0.30;
+    p.codeBytes = 64 * KiB;
+    p.codeSharedFraction = 0.7;
+    p.sharedCodeBytes = 256 * KiB;
+    p.hotBytes = 96 * KiB;
+    p.zipfTheta = 0.7;
+    p.sharedBytes = 0;
+    p.sharedFraction = 0.0;
+    p.writeFraction = 0.3;
+    p.depFraction = 0.25;
+    p.osFraction = 0.5;
+    p.appId = 99;
+    p.coreId = core;
+    return p;
+}
+
+} // namespace detail
+
+/**
+ * Build a workload preset by Table 1 name. `ops_per_core` scales run
+ * length; `seed` drives the paper's pseudo-random perturbation
+ * (Section 4.2): +/- 5 % jitter on intensity and footprint knobs.
+ */
+inline Workload
+makeWorkload(const std::string &name, const SystemConfig &cfg,
+             std::uint64_t ops_per_core, std::uint64_t seed)
+{
+    using namespace detail;
+    Workload w;
+    w.name = name;
+    w.cores.resize(cfg.numCores);
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        w.cores[c].ops = 0;
+        w.cores[c].coreId = c;
+    }
+
+    const auto is_server = [&](const std::string &n) {
+        return n == "apache" || n == "jbb" || n == "oltp" || n == "zeus";
+    };
+    const auto is_npb = [&](const std::string &n) {
+        return n == "BT" || n == "CG" || n == "FT" || n == "IS" ||
+               n == "LU" || n == "MG" || n == "SP" || n == "UA";
+    };
+
+    if (is_server(name)) {
+        const ServerModel m = serverModel(name);
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            StreamParams p;
+            p.ops = ops_per_core;
+            p.gapMean = m.gapMean;
+            p.ifetchFraction = m.ifetch;
+            p.codeBytes = m.privCode;
+            p.codeSharedFraction = 0.92;
+            p.sharedCodeBytes = m.sharedCode;
+            p.hotBytes = m.hotBytes;
+            p.zipfTheta = 0.70;
+            // Commercial workloads are L2-resident: only a thin
+            // streaming component (logging, network buffers).
+            p.coldBytes = 1 * MiB;
+            p.coldFraction = 0.01;
+            p.sharedBytes = m.sharedBytes;
+            p.sharedFraction = m.sharedFraction;
+            p.writeFraction = m.writeFraction;
+            p.depFraction = m.depFraction;
+            p.osFraction = m.osFraction;
+            p.osBytes = 768 * KiB;
+            // Session working window: ~192 KB per core of the shared
+            // state, drifting slowly (see trace_gen.hpp).
+            p.sharedWindowBlocks = 3072;
+            p.sharedWindowFraction = 0.55;
+            p.sharedWindowDrift = 8;
+            p.appId = 1;
+            p.coreId = c;
+            w.cores[c] = p;
+        }
+    } else if (is_npb(name)) {
+        const AppModel m = npbModel(name);
+        // Limited sharing over a small shared slice (paper 6.4).
+        const std::uint64_t shared = 768 * KiB;
+        for (CoreId c = 0; c < cfg.numCores; ++c)
+            w.cores[c] = fromApp(m, c, 1, ops_per_core, shared, 0.10);
+    } else if (name.size() > 2 &&
+               name.compare(name.size() - 2, 2, "-4") == 0) {
+        // Half rate: 4 instances on cores 0..3, system services on 4.
+        const std::string app = name.substr(0, name.size() - 2);
+        const AppModel m = specModel(app);
+        for (CoreId c = 0; c < 4; ++c)
+            w.cores[c] = fromApp(m, c, 1, ops_per_core, 0, 0.0);
+        w.cores[4] = systemServices(4, ops_per_core);
+    } else {
+        // Hybrid "a-b": 4 instances of a on 0..3, 4 of b on 4..7.
+        const auto dash = name.find('-');
+        ESP_ASSERT(dash != std::string::npos,
+                   "unknown workload: " + name);
+        const std::string a = name.substr(0, dash);
+        const std::string b = name.substr(dash + 1);
+        const AppModel ma = specModel(a);
+        const AppModel mb = specModel(b);
+        for (CoreId c = 0; c < 4; ++c)
+            w.cores[c] = fromApp(ma, c, 1, ops_per_core, 0, 0.0);
+        for (CoreId c = 4; c < 8; ++c)
+            w.cores[c] = fromApp(mb, c, 2, ops_per_core, 0, 0.0);
+    }
+
+    // Pseudo-random perturbation for run-to-run variability (paper 4.2).
+    Rng jitter(seed * 0x5851f42d4c957f2dULL + 0x1405);
+    for (auto &p : w.cores) {
+        if (p.ops == 0)
+            continue;
+        auto wobble = [&jitter](double v) {
+            return v * (0.95 + 0.10 * jitter.uniform());
+        };
+        p.gapMean = wobble(p.gapMean);
+        p.hotBytes = static_cast<std::uint64_t>(wobble(
+            static_cast<double>(p.hotBytes)));
+        p.sharedFraction = std::min(0.95, wobble(p.sharedFraction));
+        p.coldFraction = std::min(0.95, wobble(p.coldFraction));
+        p.ops = static_cast<std::uint64_t>(wobble(
+            static_cast<double>(p.ops)));
+    }
+    return w;
+}
+
+/** The Table 1 workload lists, by family. */
+inline std::vector<std::string>
+transactionalWorkloads()
+{
+    return {"apache", "jbb", "oltp", "zeus"};
+}
+
+inline std::vector<std::string>
+halfRateWorkloads()
+{
+    return {"art-4", "gcc-4", "gzip-4", "mcf-4", "twolf-4"};
+}
+
+inline std::vector<std::string>
+hybridWorkloads()
+{
+    return {"art-gzip", "gcc-gzip", "gcc-twolf", "mcf-gzip", "mcf-twolf"};
+}
+
+inline std::vector<std::string>
+npbWorkloads()
+{
+    return {"BT", "CG", "FT", "IS", "LU", "MG", "SP", "UA"};
+}
+
+inline std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> all;
+    for (const auto &v : {transactionalWorkloads(), halfRateWorkloads(),
+                          hybridWorkloads(), npbWorkloads()}) {
+        all.insert(all.end(), v.begin(), v.end());
+    }
+    return all;
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_WORKLOAD_PRESETS_HPP_

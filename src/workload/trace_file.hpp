@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace record/replay: lets users capture the synthetic streams to disk
+ * or bring their own traces (e.g. converted Pin/DynamoRIO/gem5 traces).
+ *
+ * Format: one line per reference, whitespace separated:
+ *
+ *     <gap> <type> <hex-address> <dep>
+ *
+ * where type is one of  L (load), S (store), I (ifetch)  and dep is 0/1
+ * (address depends on the previous load). Lines starting with '#' are
+ * comments. One file per core.
+ */
+
+#ifndef ESPNUCA_WORKLOAD_TRACE_FILE_HPP_
+#define ESPNUCA_WORKLOAD_TRACE_FILE_HPP_
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+#include "cpu/trace_core.hpp"
+
+namespace espnuca {
+
+/** TraceSource that replays a trace file. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path) : in_(path)
+    {
+        if (!in_.is_open())
+            ESP_FATAL("cannot open trace file: " + path);
+    }
+
+    bool
+    next(TraceOp &op) override
+    {
+        std::string line;
+        while (std::getline(in_, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            std::istringstream ls(line);
+            std::string type;
+            std::string addr;
+            int dep = 0;
+            if (!(ls >> op.gap >> type >> addr >> dep)) {
+                ESP_FATAL("malformed trace line: " + line);
+            }
+            switch (type.empty() ? '?' : type[0]) {
+              case 'L': op.type = AccessType::Load; break;
+              case 'S': op.type = AccessType::Store; break;
+              case 'I': op.type = AccessType::Ifetch; break;
+              default:
+                ESP_FATAL("unknown access type in trace: " + line);
+            }
+            op.addr = std::stoull(addr, nullptr, 16);
+            op.dependsOnPrev = dep != 0;
+            ++emitted_;
+            return true;
+        }
+        return false;
+    }
+
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    std::ifstream in_;
+    std::uint64_t emitted_ = 0;
+};
+
+/** Writes TraceOps to a trace file in the replayable format. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(const std::string &path) : out_(path)
+    {
+        if (!out_.is_open())
+            ESP_FATAL("cannot create trace file: " + path);
+        out_ << "# espnuca trace v1: <gap> <L|S|I> <hex-addr> <dep>\n";
+    }
+
+    void
+    record(const TraceOp &op)
+    {
+        const char t = op.type == AccessType::Load    ? 'L'
+                       : op.type == AccessType::Store ? 'S'
+                                                      : 'I';
+        out_ << op.gap << ' ' << t << ' ' << std::hex << op.addr
+             << std::dec << ' ' << (op.dependsOnPrev ? 1 : 0) << '\n';
+        ++recorded_;
+    }
+
+    std::uint64_t recorded() const { return recorded_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t recorded_ = 0;
+};
+
+/**
+ * Pass-through source: replays an inner source while writing every op
+ * to a recorder (capture mode of the CLI tool).
+ */
+class RecordingSource : public TraceSource
+{
+  public:
+    RecordingSource(std::unique_ptr<TraceSource> inner,
+                    const std::string &path)
+        : inner_(std::move(inner)), rec_(path)
+    {
+    }
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (!inner_->next(op))
+            return false;
+        rec_.record(op);
+        return true;
+    }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    TraceRecorder rec_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_WORKLOAD_TRACE_FILE_HPP_

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Synthetic reference-stream generator. Each core's stream is drawn from
+ * a parameterized statistical model (hot working set with Zipf locality,
+ * cold streaming set, shared region, shared/private code, OS activity)
+ * so that each of the paper's 22 workloads (Table 1) becomes a preset
+ * whose parameters embody its published behaviour class (sharing degree,
+ * footprint, memory intensity, imbalance). See DESIGN.md Section 2 for
+ * the substitution rationale.
+ */
+
+#ifndef ESPNUCA_WORKLOAD_TRACE_GEN_HPP_
+#define ESPNUCA_WORKLOAD_TRACE_GEN_HPP_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "cpu/trace_core.hpp"
+
+namespace espnuca {
+
+/** Address-space region kinds (disjoint high-bit prefixes). */
+enum class Region : std::uint64_t {
+    PrivateHot = 1,
+    PrivateCold = 2,
+    PrivateCode = 3,
+    SharedCode = 4,
+    SharedData = 5,
+    OsData = 6,
+};
+
+/** Base address of a region instance (id = core or application id). */
+inline Addr
+regionBase(Region r, std::uint64_t id)
+{
+    return (static_cast<std::uint64_t>(r) << 44) | (id << 36);
+}
+
+/** Statistical parameters of one core's reference stream. */
+struct StreamParams
+{
+    std::uint64_t ops = 0; //!< memory references to emit; 0 = idle core
+    double gapMean = 3.0;  //!< mean non-memory instructions per reference
+
+    // Instruction fetch.
+    double ifetchFraction = 0.2;     //!< of all references
+    std::uint64_t codeBytes = 128 << 10;
+    double codeSharedFraction = 0.5; //!< ifetches to the shared code image
+    std::uint64_t sharedCodeBytes = 256 << 10;
+
+    // Private data.
+    std::uint64_t hotBytes = 256 << 10; //!< Zipf-skewed working set
+    double zipfTheta = 0.7;             //!< 0 = uniform, ->1 = very skewed
+    std::uint64_t coldBytes = 0;        //!< streaming (low-utility) set
+    double coldFraction = 0.0;          //!< data accesses to the cold set
+
+    // Shared data.
+    std::uint64_t sharedBytes = 0;
+    double sharedFraction = 0.0; //!< data accesses to the shared region
+    /**
+     * Fraction of a shared region (shared data and OS) that is
+     * read-write. Writes to shared regions are drawn uniformly from
+     * this subset, while reads cover the whole region with Zipf
+     * locality — modelling the read-mostly nature of hot shared data
+     * (indices, code-adjacent tables) vs the cooler, migratory
+     * read-write records.
+     */
+    double sharedRwFraction = 0.25;
+    /**
+     * Per-core working-window model for shared data: each core spends
+     * `sharedWindowFraction` of its shared reads inside a private
+     * window of `sharedWindowBlocks` consecutive (permuted) blocks that
+     * drifts by one block every `sharedWindowDrift` window accesses.
+     * This models server threads working a session/connection subset of
+     * the shared state: reuse distances beyond the L1 but well within
+     * an L2 partition — the access band that local replicas (ESP-NUCA),
+     * migration (D-NUCA) and replication (ASR/private) act on.
+     */
+    std::uint64_t sharedWindowBlocks = 0; //!< 0 disables the window
+    double sharedWindowFraction = 0.5;
+    std::uint64_t sharedWindowDrift = 8;
+
+    /**
+     * Fraction of loads whose address depends on the previous load
+     * (pointer chasing, indirection). Governs how much memory latency
+     * the out-of-order window can hide.
+     */
+    double depFraction = 0.2;
+
+    // Writes and OS activity.
+    double writeFraction = 0.25; //!< of data accesses
+    double osFraction = 0.0;     //!< data accesses to the global OS region
+    std::uint64_t osBytes = 4 << 20;
+
+    // Region instance ids (shared regions with equal ids are shared).
+    std::uint64_t appId = 0;  //!< selects SharedData / SharedCode images
+    std::uint64_t coreId = 0; //!< selects the private regions
+};
+
+/**
+ * The generator proper: a pull-model TraceSource. All randomness comes
+ * from one seeded Rng, so a (params, seed) pair reproduces exactly.
+ */
+class SyntheticSource : public TraceSource
+{
+  public:
+    SyntheticSource(const SystemConfig &cfg, const StreamParams &p,
+                    std::uint64_t seed)
+        : p_(p), blockBytes_(cfg.blockBytes), rng_(seed)
+    {
+        hotBlocks_ = regionBlocks(p.hotBytes);
+        coldBlocks_ = regionBlocks(p.coldBytes);
+        codeBlocks_ = regionBlocks(p.codeBytes);
+        sharedCodeBlocks_ = regionBlocks(p.sharedCodeBytes);
+        sharedBlocks_ = regionBlocks(p.sharedBytes);
+        osBlocks_ = regionBlocks(p.osBytes);
+        zipfExp_ = 1.0 / (1.0 - clampTheta(p.zipfTheta));
+        // Each core starts its working window at a distinct spot.
+        windowBase_ = (p.coreId * 0x9E3779B97F4A7C15ULL) &
+                      (sharedBlocks_ - 1);
+    }
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (emitted_ >= p_.ops)
+            return false;
+        ++emitted_;
+        op.gap = static_cast<std::uint32_t>(
+            rng_.below(static_cast<std::uint64_t>(2.0 * p_.gapMean) + 1));
+        if (rng_.chance(p_.ifetchFraction)) {
+            op.type = AccessType::Ifetch;
+            op.addr = codeAddress();
+            op.dependsOnPrev = false;
+            return true;
+        }
+        op.type = rng_.chance(p_.writeFraction) ? AccessType::Store
+                                                : AccessType::Load;
+        op.addr = dataAddress(op.type == AccessType::Store);
+        op.dependsOnPrev =
+            op.type == AccessType::Load && rng_.chance(p_.depFraction);
+        return true;
+    }
+
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    static double
+    clampTheta(double t)
+    {
+        if (t < 0.0)
+            return 0.0;
+        if (t > 0.95)
+            return 0.95;
+        return t;
+    }
+
+    /** Region size in blocks, rounded up to a power of two (>= 1). */
+    std::uint64_t
+    regionBlocks(std::uint64_t bytes) const
+    {
+        std::uint64_t n = divCeil(bytes, blockBytes_);
+        if (n == 0)
+            return 1;
+        std::uint64_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    /**
+     * Zipf-like rank draw over n blocks (inverse-transform power law),
+     * scattered over the region by an odd-multiplier permutation so hot
+     * blocks do not cluster in a few cache sets.
+     */
+    std::uint64_t
+    zipfBlock(std::uint64_t n)
+    {
+        const double u = rng_.uniform();
+        auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(n) * std::pow(u, zipfExp_));
+        if (rank >= n)
+            rank = n - 1;
+        return (rank * 0x9E3779B97F4A7C15ULL) & (n - 1);
+    }
+
+    /**
+     * Blocks are scattered across a 64 MB virtual span per region
+     * (Fibonacci-hash bijection over 2^20 block slots) instead of being
+     * laid out contiguously: real address spaces are page-allocated all
+     * over memory, so every cache index bit sees full entropy. A dense
+     * layout would leave high index bits constant for small regions and
+     * manufacture conflict misses under the shared (Fig. 1b) mapping.
+     */
+    Addr
+    blockAddr(Region r, std::uint64_t id, std::uint64_t block) const
+    {
+        constexpr std::uint64_t kSpanBlocks = 1ULL << 20; // 64 MB span
+        // The scatter is salted per region instance: without the salt,
+        // the k-th hottest block of every region would land on the same
+        // cache set chip-wide, manufacturing pathological conflicts.
+        const Addr base = regionBase(r, id);
+        std::uint64_t salt = base >> 36;
+        salt = (salt ^ (salt >> 3)) * 0xbf58476d1ce4e5b9ULL;
+        const std::uint64_t scattered =
+            ((block * 0x9E3779B1ULL) ^ salt) & (kSpanBlocks - 1);
+        return base + scattered * blockBytes_;
+    }
+
+    Addr
+    codeAddress()
+    {
+        if (rng_.chance(p_.codeSharedFraction)) {
+            return blockAddr(Region::SharedCode, p_.appId,
+                             zipfBlock(sharedCodeBlocks_));
+        }
+        return blockAddr(Region::PrivateCode, p_.coreId,
+                         zipfBlock(codeBlocks_));
+    }
+
+    /**
+     * Block within a shared region: writes land uniformly in the
+     * read-write tail of the region, reads follow the Zipf profile over
+     * the whole region (whose head therefore stays read-mostly).
+     */
+    std::uint64_t
+    sharedRegionBlock(std::uint64_t n, bool is_write)
+    {
+        if (!is_write) {
+            if (p_.sharedWindowBlocks > 0 &&
+                rng_.chance(p_.sharedWindowFraction)) {
+                // Working-window read: uniform within the core's
+                // drifting window of the (permuted) block space.
+                const std::uint64_t w =
+                    std::min(p_.sharedWindowBlocks, n);
+                const std::uint64_t pick =
+                    (windowBase_ + rng_.below(w)) & (n - 1);
+                if (++windowAccesses_ >= p_.sharedWindowDrift) {
+                    windowAccesses_ = 0;
+                    windowBase_ = (windowBase_ + 1) & (n - 1);
+                }
+                return (pick * 0x9E3779B97F4A7C15ULL) & (n - 1);
+            }
+            return zipfBlock(n);
+        }
+        std::uint64_t rw = static_cast<std::uint64_t>(
+            p_.sharedRwFraction * static_cast<double>(n));
+        if (rw == 0)
+            rw = 1;
+        // The RW records occupy the cold end of the permuted space.
+        const std::uint64_t pick = n - 1 - rng_.below(rw);
+        return (pick * 0x9E3779B97F4A7C15ULL) & (n - 1);
+    }
+
+    Addr
+    dataAddress(bool is_write)
+    {
+        if (p_.osFraction > 0.0 && rng_.chance(p_.osFraction)) {
+            return blockAddr(Region::OsData, 0,
+                             sharedRegionBlock(osBlocks_, is_write));
+        }
+        if (p_.sharedFraction > 0.0 && rng_.chance(p_.sharedFraction)) {
+            return blockAddr(
+                Region::SharedData, p_.appId,
+                sharedRegionBlock(sharedBlocks_, is_write));
+        }
+        if (p_.coldFraction > 0.0 && rng_.chance(p_.coldFraction)) {
+            // Streaming: sequential sweep, almost no reuse.
+            const std::uint64_t b = coldCursor_;
+            coldCursor_ = (coldCursor_ + 1) & (coldBlocks_ - 1);
+            return blockAddr(Region::PrivateCold, p_.coreId, b);
+        }
+        return blockAddr(Region::PrivateHot, p_.coreId,
+                         zipfBlock(hotBlocks_));
+    }
+
+    StreamParams p_;
+    std::uint64_t blockBytes_;
+    Rng rng_;
+    double zipfExp_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t coldCursor_ = 0;
+    std::uint64_t windowBase_ = 0;
+    std::uint64_t windowAccesses_ = 0;
+
+    std::uint64_t hotBlocks_;
+    std::uint64_t coldBlocks_;
+    std::uint64_t codeBlocks_;
+    std::uint64_t sharedCodeBlocks_;
+    std::uint64_t sharedBlocks_;
+    std::uint64_t osBlocks_;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_WORKLOAD_TRACE_GEN_HPP_

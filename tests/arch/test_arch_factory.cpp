@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Architecture factory coverage: every published name constructs, names
+ * round-trip, unknown names die.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch_factory.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(ArchFactory, AllNamesConstructAndRoundTrip)
+{
+    SystemConfig cfg;
+    for (const char *name :
+         {"shared", "private", "sp-nuca", "sp-nuca-static",
+          "sp-nuca-shadow", "esp-nuca", "esp-nuca-flat", "d-nuca", "asr",
+          "cc-0", "cc-30", "cc-70", "cc-100"}) {
+        auto org = makeArch(name, cfg, 1);
+        ASSERT_NE(org, nullptr) << name;
+        EXPECT_EQ(org->name(), name);
+        EXPECT_EQ(org->numBanks(), cfg.l2Banks) << name;
+    }
+}
+
+TEST(ArchFactory, CcVariantsListedInOrder)
+{
+    const auto v = ccVariants();
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "cc-0");
+    EXPECT_EQ(v[3], "cc-100");
+}
+
+TEST(ArchFactory, UnknownNameIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH({ makeArch("z-nuca", cfg, 1); }, ".*");
+}
+
+TEST(ArchFactory, MonitorOnlyOnProtectedEsp)
+{
+    SystemConfig cfg;
+    for (const char *name : {"shared", "private", "sp-nuca", "d-nuca",
+                             "asr", "cc-70", "esp-nuca-flat"}) {
+        auto org = makeArch(name, cfg, 1);
+        EXPECT_EQ(org->bank(0).monitor(), nullptr) << name;
+    }
+    auto esp = makeArch("esp-nuca", cfg, 1);
+    EXPECT_NE(esp->bank(0).monitor(), nullptr);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The two address interpretations of Figure 1b: bank/set/tag extraction,
+ * private-partition locality, tag-width relationship.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/address_map.hpp"
+
+namespace espnuca {
+namespace {
+
+struct MapFixture : ::testing::Test
+{
+    SystemConfig cfg;
+    AddressMap map{cfg};
+};
+
+TEST_F(MapFixture, BlockAlignment)
+{
+    EXPECT_EQ(map.blockAddr(0x12345), 0x12340u);
+    EXPECT_EQ(map.blockAddr(0x12340), 0x12340u);
+    EXPECT_EQ(map.blockAddr(0x3F), 0x0u);
+}
+
+TEST_F(MapFixture, SharedBankUsesNBitsAboveOffset)
+{
+    // bank = bits [6, 11): address 0 -> bank 0; address 64 -> bank 1.
+    EXPECT_EQ(map.sharedBank(0), 0u);
+    EXPECT_EQ(map.sharedBank(64), 1u);
+    EXPECT_EQ(map.sharedBank(31u * 64), 31u);
+    EXPECT_EQ(map.sharedBank(32u * 64), 0u); // wraps into the set index
+}
+
+TEST_F(MapFixture, PrivateBankStaysInPartition)
+{
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        for (Addr a = 0; a < 1 << 16; a += 64) {
+            const BankId b = map.privateBank(c, a);
+            EXPECT_EQ(b / cfg.banksPerCore(), c);
+            EXPECT_TRUE(map.isLocalBank(c, b));
+        }
+    }
+}
+
+TEST_F(MapFixture, PrivateBankUsesNMinusPBits)
+{
+    // 2 bank-select bits for 4 banks/core: addresses 0,64,128,192 hit
+    // the 4 different banks of the partition.
+    EXPECT_EQ(map.privateBank(2, 0), 8u);
+    EXPECT_EQ(map.privateBank(2, 64), 9u);
+    EXPECT_EQ(map.privateBank(2, 128), 10u);
+    EXPECT_EQ(map.privateBank(2, 192), 11u);
+    EXPECT_EQ(map.privateBank(2, 256), 8u);
+}
+
+TEST_F(MapFixture, SetIndicesUseDisjointFields)
+{
+    // Shared set starts after n bank bits, private set after n-p.
+    const Addr a = 0xABCDE40;
+    EXPECT_EQ(map.sharedSet(a), bits(a, 6 + 5, 8));
+    EXPECT_EQ(map.privateSet(a), bits(a, 6 + 2, 8));
+}
+
+TEST_F(MapFixture, PrivateTagIsPBitsLonger)
+{
+    // Paper 2.1: the private tag is p bits bigger than the shared one.
+    const Addr a = 0xFFFF'FFFF'FFC0ULL;
+    EXPECT_EQ(map.privateTag(a), map.sharedTag(a) << cfg.coreBits() |
+                                     bits(a, 6 + 2 + 8, cfg.coreBits()));
+}
+
+TEST_F(MapFixture, RoundTripUniqueness)
+{
+    // Two different block addresses never collide on
+    // (bank, set, tag) under either interpretation.
+    const Addr a = 0x100040, b = 0x100080;
+    const bool shared_same = map.sharedBank(a) == map.sharedBank(b) &&
+                             map.sharedSet(a) == map.sharedSet(b) &&
+                             map.sharedTag(a) == map.sharedTag(b);
+    EXPECT_FALSE(shared_same);
+    const bool priv_same =
+        map.privateBank(0, a) == map.privateBank(0, b) &&
+        map.privateSet(a) == map.privateSet(b) &&
+        map.privateTag(a) == map.privateTag(b);
+    EXPECT_FALSE(priv_same);
+}
+
+TEST_F(MapFixture, MemControllerInterleaves)
+{
+    bool seen[4] = {false, false, false, false};
+    for (Addr a = 0; a < 64 * 16; a += 64)
+        seen[map.memController(a)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+/** Property sweep: every (core, address) pair maps consistently. */
+class MapProperty : public ::testing::TestWithParam<CoreId>
+{
+};
+
+TEST_P(MapProperty, SharedMapIsCoreIndependent)
+{
+    SystemConfig cfg;
+    AddressMap map(cfg);
+    const CoreId c = GetParam();
+    for (Addr a = 0; a < 1 << 20; a += 4096 + 64) {
+        // Shared mapping never depends on the requester.
+        EXPECT_EQ(map.sharedBank(a), map.sharedBank(a));
+        // Private mapping partitions: same low bits, different cores,
+        // different banks.
+        if (c > 0) {
+            EXPECT_NE(map.privateBank(c, a), map.privateBank(c - 1, a));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCores, MapProperty,
+                         ::testing::Values(0u, 1u, 3u, 7u));
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * LRU set mechanics: recency ordering, predicate search, helping count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_set.hpp"
+
+namespace espnuca {
+namespace {
+
+BlockMeta
+makeBlock(Addr a, BlockClass cls = BlockClass::Private)
+{
+    BlockMeta m;
+    m.addr = a;
+    m.valid = true;
+    m.cls = cls;
+    return m;
+}
+
+TEST(CacheSet, FindsByAddressAndPredicate)
+{
+    CacheSet s(4);
+    s.way(0) = makeBlock(0x100, BlockClass::Private);
+    s.way(1) = makeBlock(0x100, BlockClass::Shared);
+    const int priv = s.find(0x100, [](const BlockMeta &m) {
+        return m.cls == BlockClass::Private;
+    });
+    const int sh = s.find(0x100, [](const BlockMeta &m) {
+        return m.cls == BlockClass::Shared;
+    });
+    EXPECT_EQ(priv, 0);
+    EXPECT_EQ(sh, 1);
+    EXPECT_EQ(s.find(0x200, [](const BlockMeta &) { return true; }),
+              kNoWay);
+}
+
+TEST(CacheSet, InvalidBlocksNeverMatch)
+{
+    CacheSet s(2);
+    s.way(0) = makeBlock(0x40);
+    s.way(0).valid = false;
+    EXPECT_EQ(s.findAny(0x40), kNoWay);
+}
+
+TEST(CacheSet, TouchMovesToMru)
+{
+    CacheSet s(4);
+    for (int i = 0; i < 4; ++i)
+        s.way(i) = makeBlock(0x40 * (i + 1));
+    s.touch(2);
+    EXPECT_EQ(s.recencyOf(2), 0u);
+    s.touch(0);
+    EXPECT_EQ(s.recencyOf(0), 0u);
+    EXPECT_EQ(s.recencyOf(2), 1u);
+}
+
+TEST(CacheSet, LruWayIsLeastRecent)
+{
+    CacheSet s(4);
+    for (int i = 0; i < 4; ++i) {
+        s.way(i) = makeBlock(0x40 * (i + 1));
+        s.touch(i);
+    }
+    EXPECT_EQ(s.lruWay(), 0);
+    s.touch(0);
+    EXPECT_EQ(s.lruWay(), 1);
+}
+
+TEST(CacheSet, LruAmongFiltersByClass)
+{
+    CacheSet s(4);
+    s.way(0) = makeBlock(0x40, BlockClass::Private);
+    s.way(1) = makeBlock(0x80, BlockClass::Replica);
+    s.way(2) = makeBlock(0xC0, BlockClass::Private);
+    s.way(3) = makeBlock(0x100, BlockClass::Victim);
+    for (int i = 0; i < 4; ++i)
+        s.touch(i); // recency: 3 MRU .. 0 LRU
+    const int lru_helping = s.lruAmong(
+        [](const BlockMeta &m) { return isHelping(m.cls); });
+    EXPECT_EQ(lru_helping, 1); // replica older than victim
+    const int lru_private = s.lruAmong(
+        [](const BlockMeta &m) { return m.cls == BlockClass::Private; });
+    EXPECT_EQ(lru_private, 0);
+}
+
+TEST(CacheSet, InvalidWayFoundFirst)
+{
+    CacheSet s(3);
+    s.way(0) = makeBlock(0x40);
+    s.way(2) = makeBlock(0x80);
+    EXPECT_EQ(s.invalidWay(), 1);
+    s.way(1) = makeBlock(0xC0);
+    EXPECT_EQ(s.invalidWay(), kNoWay);
+}
+
+TEST(CacheSet, HelpingCountMatchesClasses)
+{
+    CacheSet s(4);
+    EXPECT_EQ(s.helpingCount(), 0u);
+    s.way(0) = makeBlock(0x40, BlockClass::Replica);
+    s.way(1) = makeBlock(0x80, BlockClass::Victim);
+    s.way(2) = makeBlock(0xC0, BlockClass::Shared);
+    EXPECT_EQ(s.helpingCount(), 2u);
+}
+
+TEST(CacheSet, DemoteMakesWayLru)
+{
+    CacheSet s(3);
+    for (int i = 0; i < 3; ++i) {
+        s.way(i) = makeBlock(0x40 * (i + 1));
+        s.touch(i);
+    }
+    s.demote(2);
+    EXPECT_EQ(s.lruWay(), 2);
+}
+
+TEST(CacheSet, CountIf)
+{
+    CacheSet s(4);
+    s.way(0) = makeBlock(0x40, BlockClass::Private);
+    s.way(1) = makeBlock(0x80, BlockClass::Private);
+    s.way(2) = makeBlock(0xC0, BlockClass::Shared);
+    EXPECT_EQ(s.countIf([](const BlockMeta &m) {
+                  return m.cls == BlockClass::Private;
+              }),
+              2u);
+}
+
+} // namespace
+} // namespace espnuca

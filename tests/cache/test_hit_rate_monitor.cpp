@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The ESP-NUCA nmax controller (paper 3.3): set-category assignment,
+ * EMA bookkeeping and the equation-(3) update rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hit_rate_monitor.hpp"
+
+namespace espnuca {
+namespace {
+
+SystemConfig
+monitorConfig(std::uint32_t period = 8)
+{
+    SystemConfig cfg;
+    cfg.monitorPeriod = period;
+    return cfg;
+}
+
+/** Locate the sampled sets of a monitor. */
+struct Samples
+{
+    std::vector<std::uint32_t> reference, explorer, conventional;
+};
+
+Samples
+findSamples(const HitRateMonitor &m, std::uint32_t num_sets)
+{
+    Samples s;
+    for (std::uint32_t i = 0; i < num_sets; ++i) {
+        switch (m.category(i)) {
+          case SetCategory::Reference:
+            s.reference.push_back(i);
+            break;
+          case SetCategory::Explorer:
+            s.explorer.push_back(i);
+            break;
+          case SetCategory::SampledConventional:
+            s.conventional.push_back(i);
+            break;
+          default:
+            break;
+        }
+    }
+    return s;
+}
+
+TEST(HitRateMonitor, PaperSampleCounts)
+{
+    const SystemConfig cfg = monitorConfig();
+    HitRateMonitor m(cfg, 256, 16);
+    const Samples s = findSamples(m, 256);
+    EXPECT_EQ(s.reference.size(), 1u);
+    EXPECT_EQ(s.explorer.size(), 1u);
+    EXPECT_EQ(s.conventional.size(), 2u);
+}
+
+TEST(HitRateMonitor, SampledSetsAreSpread)
+{
+    const SystemConfig cfg = monitorConfig();
+    HitRateMonitor m(cfg, 256, 16);
+    const Samples s = findSamples(m, 256);
+    // No two sampled sets adjacent; they span the index space.
+    std::vector<std::uint32_t> all = s.reference;
+    all.insert(all.end(), s.conventional.begin(), s.conventional.end());
+    all.insert(all.end(), s.explorer.begin(), s.explorer.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_GT(all[i] - all[i - 1], 8u);
+}
+
+TEST(HitRateMonitor, NmaxDecreasesWhenConventionalLags)
+{
+    const SystemConfig cfg = monitorConfig(4);
+    HitRateMonitor m(cfg, 256, 16, /*initial_nmax=*/8);
+    const Samples s = findSamples(m, 256);
+    // Reference sets hit, conventional sets miss, explorer sets miss:
+    // helping blocks are hurting -> nmax must fall.
+    for (int i = 0; i < 64; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.conventional[0], false);
+        m.record(s.explorer[0], false);
+    }
+    EXPECT_LT(m.nmax(), 8u);
+    EXPECT_GT(m.decrements(), 0u);
+}
+
+TEST(HitRateMonitor, NmaxIncreasesWhenExplorerKeepsUp)
+{
+    const SystemConfig cfg = monitorConfig(4);
+    HitRateMonitor m(cfg, 256, 16, 4);
+    const Samples s = findSamples(m, 256);
+    // All three categories hit equally: one more helping block is free.
+    for (int i = 0; i < 64; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.conventional[0], true);
+        m.record(s.explorer[0], true);
+    }
+    EXPECT_GT(m.nmax(), 4u);
+    EXPECT_GT(m.increments(), 0u);
+}
+
+TEST(HitRateMonitor, DecrementWinsOverIncrement)
+{
+    // Construct HRC low (decrement fires) while HRE high (increment
+    // would also fire): the paper lists the decrement first.
+    const SystemConfig cfg = monitorConfig(4);
+    HitRateMonitor m(cfg, 256, 16, 8);
+    const Samples s = findSamples(m, 256);
+    for (int i = 0; i < 16; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.explorer[0], true);
+        m.record(s.conventional[0], false);
+    }
+    EXPECT_LT(m.nmax(), 8u);
+}
+
+TEST(HitRateMonitor, NmaxClampedToWays)
+{
+    const SystemConfig cfg = monitorConfig(2);
+    HitRateMonitor m(cfg, 256, 16, 14);
+    EXPECT_EQ(m.nmax(), 14u); // ways - 2
+    const Samples s = findSamples(m, 256);
+    for (int i = 0; i < 256; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.conventional[0], true);
+        m.record(s.explorer[0], true);
+    }
+    EXPECT_LE(m.nmax(), 14u);
+}
+
+TEST(HitRateMonitor, NmaxNeverUnderflows)
+{
+    const SystemConfig cfg = monitorConfig(2);
+    HitRateMonitor m(cfg, 256, 16, 0);
+    const Samples s = findSamples(m, 256);
+    for (int i = 0; i < 256; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.conventional[0], false);
+        m.record(s.explorer[0], false);
+    }
+    EXPECT_EQ(m.nmax(), 0u);
+}
+
+TEST(HitRateMonitor, ConventionalUnsampledSetsDontAdvance)
+{
+    const SystemConfig cfg = monitorConfig(1);
+    HitRateMonitor m(cfg, 256, 16, 4);
+    // Find an unsampled conventional set.
+    std::uint32_t plain = 0;
+    while (m.category(plain) != SetCategory::Conventional)
+        ++plain;
+    for (int i = 0; i < 100; ++i)
+        m.record(plain, false);
+    EXPECT_EQ(m.nmax(), 4u);
+    EXPECT_EQ(m.increments() + m.decrements(), 0u);
+}
+
+TEST(HitRateMonitor, SetNmaxClamps)
+{
+    const SystemConfig cfg = monitorConfig();
+    HitRateMonitor m(cfg, 256, 16);
+    m.setNmax(100);
+    EXPECT_EQ(m.nmax(), 14u);
+    m.setNmax(3);
+    EXPECT_EQ(m.nmax(), 3u);
+}
+
+/** Adaptation dynamics under a phase change (paper Figure 3 story):
+ *  a small working set grows nmax; a high-utility phase shrinks it. */
+TEST(HitRateMonitor, PhaseChangeAdapts)
+{
+    const SystemConfig cfg = monitorConfig(4);
+    HitRateMonitor m(cfg, 256, 16, 4);
+    const Samples s = findSamples(m, 256);
+    // Phase 1: everything hits (small working set).
+    for (int i = 0; i < 128; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.conventional[0], true);
+        m.record(s.explorer[0], true);
+    }
+    const std::uint32_t grown = m.nmax();
+    EXPECT_GT(grown, 4u);
+    // Phase 2: conventional sets start missing (high utility).
+    for (int i = 0; i < 128; ++i) {
+        m.record(s.reference[0], true);
+        m.record(s.conventional[0], false);
+        m.record(s.explorer[0], false);
+    }
+    EXPECT_LT(m.nmax(), grown);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Directory / token-ledger tests: holder bookkeeping, owner-token
+ * invariants, the SP-NUCA privatization lifecycle, token conservation
+ * under the redistribution rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hpp"
+
+namespace espnuca {
+namespace {
+
+struct DirFixture : ::testing::Test
+{
+    SystemConfig cfg;
+    Directory dir{cfg};
+    static constexpr Addr kA = 0x4000;
+};
+
+TEST_F(DirFixture, UnknownBlockIsOffChip)
+{
+    EXPECT_EQ(dir.find(kA), nullptr);
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::Memory, 0), cfg.totalTokens());
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::L1, 3), 0u);
+}
+
+TEST_F(DirFixture, FirstAccessSetsPrivateOwner)
+{
+    EXPECT_FALSE(dir.noteAccess(kA, 2));
+    const BlockInfo *e = dir.find(kA);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->firstAccessor, 2u);
+    EXPECT_FALSE(e->sharedStatus);
+}
+
+TEST_F(DirFixture, SecondCoreFlipsShared)
+{
+    dir.noteAccess(kA, 2);
+    dir.addL1(kA, l1IdOf(2, false), true); // block is on chip
+    EXPECT_TRUE(dir.noteAccess(kA, 5)); // privatization reset
+    EXPECT_TRUE(dir.find(kA)->sharedStatus);
+    // Further accesses don't flip again.
+    EXPECT_FALSE(dir.noteAccess(kA, 6));
+    EXPECT_FALSE(dir.noteAccess(kA, 2));
+}
+
+TEST_F(DirFixture, OffChipBlockStartsOverAsPrivate)
+{
+    // With no on-chip copy, a second core's access is a fresh arrival,
+    // not a privatization flip (paper 2.1: status holds only while the
+    // block stays in the chip).
+    dir.noteAccess(kA, 2);
+    EXPECT_FALSE(dir.noteAccess(kA, 5));
+    EXPECT_FALSE(dir.find(kA)->sharedStatus);
+    EXPECT_EQ(dir.find(kA)->firstAccessor, 5u);
+}
+
+TEST_F(DirFixture, SameCoreRepeatStaysPrivate)
+{
+    dir.noteAccess(kA, 2);
+    EXPECT_FALSE(dir.noteAccess(kA, 2));
+    EXPECT_FALSE(dir.find(kA)->sharedStatus);
+}
+
+TEST_F(DirFixture, L1HolderBits)
+{
+    dir.noteAccess(kA, 0);
+    dir.addL1(kA, 3, true);
+    dir.addL1(kA, 7, false);
+    const BlockInfo *e = dir.find(kA);
+    EXPECT_TRUE(e->hasL1Holder(3));
+    EXPECT_TRUE(e->hasL1Holder(7));
+    EXPECT_EQ(e->numL1Holders(), 2u);
+    EXPECT_EQ(e->ownerKind, OwnerKind::L1);
+    EXPECT_EQ(e->ownerIndex, 3u);
+}
+
+TEST_F(DirFixture, RemoveOwnerL1FallsBackToMemory)
+{
+    dir.addL1(kA, 3, true);
+    dir.addL1(kA, 7, false);
+    dir.removeL1(kA, 3);
+    const BlockInfo *e = dir.find(kA);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ownerKind, OwnerKind::Memory);
+}
+
+TEST_F(DirFixture, LastHolderRemovalReleasesBlock)
+{
+    dir.noteAccess(kA, 0);
+    dir.addL1(kA, 0, true);
+    dir.noteAccess(kA, 5); // shared now
+    dir.removeL1(kA, 0);
+    // Block left the chip: status resets lazily (paper 2.1)...
+    EXPECT_FALSE(dir.onChip(kA));
+    // ...so the next arrival is private again.
+    EXPECT_FALSE(dir.noteAccess(kA, 5));
+    EXPECT_FALSE(dir.find(kA)->sharedStatus);
+    EXPECT_EQ(dir.find(kA)->firstAccessor, 5u);
+}
+
+TEST_F(DirFixture, StatusSurvivesOnChipMoves)
+{
+    // A displaced private block becoming a victim passes through a
+    // zero-copy window; the status must survive it (no demand access
+    // intervenes).
+    dir.noteAccess(kA, 0);
+    dir.addL2(kA, 2, true);
+    dir.noteAccess(kA, 5); // shared
+    dir.removeL2(kA, 2);   // transient zero-copy window
+    dir.addL2(kA, 9, true);
+    EXPECT_TRUE(dir.find(kA)->sharedStatus);
+    EXPECT_FALSE(dir.noteAccess(kA, 3)); // no double flip
+}
+
+TEST_F(DirFixture, NoteAccessEntryAloneDoesNotPinChipResidence)
+{
+    // An entry created by noteAccess only (no holders) reports off-chip.
+    dir.noteAccess(kA, 1);
+    EXPECT_FALSE(dir.find(kA)->onChip());
+}
+
+TEST_F(DirFixture, L2CopyBookkeeping)
+{
+    dir.addL2(kA, 12, true);
+    const BlockInfo *e = dir.find(kA);
+    EXPECT_TRUE(e->hasL2Copy(12));
+    EXPECT_EQ(e->ownerKind, OwnerKind::L2Bank);
+    EXPECT_EQ(e->ownerIndex, 12u);
+    dir.removeL2(kA, 12);
+    EXPECT_FALSE(dir.onChip(kA));
+    EXPECT_EQ(dir.find(kA)->ownerKind, OwnerKind::Memory);
+}
+
+TEST_F(DirFixture, MoveL2KeepsOwner)
+{
+    dir.addL2(kA, 3, true);
+    dir.moveL2(kA, 3, 17);
+    const BlockInfo *e = dir.find(kA);
+    EXPECT_FALSE(e->hasL2Copy(3));
+    EXPECT_TRUE(e->hasL2Copy(17));
+    EXPECT_EQ(e->ownerIndex, 17u);
+}
+
+TEST_F(DirFixture, TokenConservationAcrossStates)
+{
+    // Memory-only: all tokens at memory.
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::Memory, 0), 64u);
+    // One L1 owner: it holds everything.
+    dir.addL1(kA, 2, true);
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::L1, 2), 64u);
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::Memory, 0), 0u);
+    // A second reader: owner keeps the remainder.
+    dir.addL1(kA, 5, false);
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::L1, 2), 63u);
+    EXPECT_EQ(dir.tokensOf(kA, OwnerKind::L1, 5), 1u);
+    // An L2 copy too: sums still 64.
+    dir.addL2(kA, 9, false);
+    const std::uint32_t total = dir.tokensOf(kA, OwnerKind::L1, 2) +
+                                dir.tokensOf(kA, OwnerKind::L1, 5) +
+                                dir.tokensOf(kA, OwnerKind::L2Bank, 9);
+    EXPECT_EQ(total, 64u);
+}
+
+TEST_F(DirFixture, ConsistencyChecks)
+{
+    EXPECT_TRUE(dir.consistent(kA));
+    dir.addL1(kA, 1, true);
+    dir.addL2(kA, 4, false);
+    EXPECT_TRUE(dir.consistent(kA));
+    dir.setOwner(kA, OwnerKind::L2Bank, 4);
+    EXPECT_TRUE(dir.consistent(kA));
+}
+
+TEST_F(DirFixture, PopulationTracksDistinctBlocks)
+{
+    dir.addL1(0x1000, 0, true);
+    dir.addL1(0x2000, 1, true);
+    EXPECT_EQ(dir.population(), 2u);
+    dir.removeL1(0x1000, 0);
+    EXPECT_EQ(dir.population(), 1u);
+}
+
+} // namespace
+} // namespace espnuca

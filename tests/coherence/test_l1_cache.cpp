@@ -1,0 +1,98 @@
+/**
+ * @file
+ * L1 cache array tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/l1_cache.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(L1Id, Encoding)
+{
+    EXPECT_EQ(l1IdOf(0, false), 0u);
+    EXPECT_EQ(l1IdOf(0, true), 1u);
+    EXPECT_EQ(l1IdOf(3, false), 6u);
+    EXPECT_EQ(coreOfL1(6), 3u);
+    EXPECT_EQ(coreOfL1(7), 3u);
+}
+
+struct L1Fixture : ::testing::Test
+{
+    SystemConfig cfg;
+    L1Cache l1{cfg};
+};
+
+TEST_F(L1Fixture, FillThenHit)
+{
+    const BlockMeta evicted = l1.fill(0x1000, false, false);
+    EXPECT_FALSE(evicted.valid);
+    EXPECT_TRUE(l1.has(0x1000));
+    EXPECT_FALSE(l1.has(0x2000));
+}
+
+TEST_F(L1Fixture, FillEvictsLruWhenSetFull)
+{
+    // 4-way L1: fill 5 blocks mapping to the same set. Set index uses
+    // bits [6, 13): stride of 128 sets * 64 B keeps the set fixed.
+    const Addr stride = 128 * 64;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(l1.fill(0x1000 + i * stride, false, false).valid);
+    const BlockMeta evicted = l1.fill(0x1000 + 4 * stride, false, false);
+    ASSERT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.addr, 0x1000u);
+}
+
+TEST_F(L1Fixture, TouchProtectsFromEviction)
+{
+    const Addr stride = 128 * 64;
+    for (int i = 0; i < 4; ++i)
+        l1.fill(0x1000 + i * stride, false, false);
+    const int way = l1.lookup(0x1000);
+    ASSERT_NE(way, kNoWay);
+    l1.touch(0x1000, way);
+    const BlockMeta evicted = l1.fill(0x1000 + 4 * stride, false, false);
+    EXPECT_EQ(evicted.addr, 0x1000u + stride); // second oldest now LRU
+}
+
+TEST_F(L1Fixture, InvalidateRemoves)
+{
+    l1.fill(0x1000, true, true);
+    const BlockMeta old = l1.invalidate(0x1000);
+    EXPECT_TRUE(old.dirty);
+    EXPECT_TRUE(old.hasOwnerToken);
+    EXPECT_FALSE(l1.has(0x1000));
+    EXPECT_EQ(l1.invalidations(), 1u);
+}
+
+TEST_F(L1Fixture, DirtyAndOwnerPreserved)
+{
+    l1.fill(0x1000, true, false);
+    const int w = l1.lookup(0x1000);
+    EXPECT_TRUE(l1.meta(0x1000, w).dirty);
+    EXPECT_FALSE(l1.meta(0x1000, w).hasOwnerToken);
+}
+
+TEST_F(L1Fixture, PopulationTracksFills)
+{
+    EXPECT_EQ(l1.population(), 0u);
+    l1.fill(0x1000, false, false);
+    l1.fill(0x2000, false, false);
+    EXPECT_EQ(l1.population(), 2u);
+    l1.invalidate(0x1000);
+    EXPECT_EQ(l1.population(), 1u);
+}
+
+TEST_F(L1Fixture, DifferentSetsDontConflict)
+{
+    // Fill many blocks across sets: no eviction while under capacity.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(l1.fill(static_cast<Addr>(i) * 64, false,
+                             false).valid);
+    EXPECT_EQ(l1.population(), 100u);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the bit-field helpers behind the Figure 1b address
+ * interpretations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(Bitops, BitsExtractsRanges)
+{
+    const std::uint64_t v = 0xABCD'1234'5678'9F0FULL;
+    EXPECT_EQ(bits(v, 0, 4), 0xFu);
+    EXPECT_EQ(bits(v, 4, 4), 0x0u);
+    EXPECT_EQ(bits(v, 8, 8), 0x9Fu);
+    EXPECT_EQ(bits(v, 0, 64), v);
+    EXPECT_EQ(bits(v, 32, 16), 0x1234u);
+}
+
+TEST(Bitops, BitsZeroWidthIsZero)
+{
+    EXPECT_EQ(bits(~0ULL, 10, 0), 0u);
+}
+
+TEST(Bitops, BitsHighLowBoundaries)
+{
+    EXPECT_EQ(bits(1ULL << 63, 63, 1), 1u);
+    EXPECT_EQ(bits(1ULL << 63, 62, 1), 0u);
+}
+
+TEST(Bitops, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xFFu);
+    EXPECT_EQ(maskBits(64), ~0ULL);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2((1ULL << 40) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ULL << 63), 63u);
+}
+
+TEST(Bitops, ExactLog2MatchesShifts)
+{
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(exactLog2(1ULL << i), i);
+}
+
+TEST(Bitops, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 16), 0u);
+    EXPECT_EQ(divCeil(1, 16), 1u);
+    EXPECT_EQ(divCeil(16, 16), 1u);
+    EXPECT_EQ(divCeil(17, 16), 2u);
+    EXPECT_EQ(divCeil(72, 16), 5u); // the 72 B data message = 5 flits
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Table 2 default configuration and its derived geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(Config, Table2Defaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numCores, 8u);
+    EXPECT_EQ(cfg.windowSize, 64u);
+    EXPECT_EQ(cfg.issueWidth, 4u);
+    EXPECT_EQ(cfg.maxOutstanding, 16u);
+    EXPECT_EQ(cfg.l1SizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1Ways, 4u);
+    EXPECT_EQ(cfg.l2SizeBytes, 8ull << 20);
+    EXPECT_EQ(cfg.l2Banks, 32u);
+    EXPECT_EQ(cfg.l2Ways, 16u);
+    EXPECT_EQ(cfg.l2Latency, 5u);
+    EXPECT_EQ(cfg.l2TagLatency, 2u);
+    EXPECT_EQ(cfg.routerLatency + cfg.linkLatency, 5u); // 5-cycle hop
+    EXPECT_TRUE(cfg.valid());
+}
+
+TEST(Config, DerivedGeometry)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.blockOffsetBits(), 6u); // B = 6
+    EXPECT_EQ(cfg.bankBits(), 5u);        // n = 5
+    EXPECT_EQ(cfg.coreBits(), 3u);        // p = 3
+    EXPECT_EQ(cfg.banksPerCore(), 4u);    // 2^(n-p)
+    EXPECT_EQ(cfg.bankBytes(), 256u * 1024);
+    EXPECT_EQ(cfg.l2SetsPerBank(), 256u);
+    EXPECT_EQ(cfg.l2IndexBits(), 8u); // i = 8
+    EXPECT_EQ(cfg.l1Sets(), 128u);
+}
+
+TEST(Config, PaperMonitorParameters)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.emaBits, 8u);          // b = 8
+    EXPECT_EQ(cfg.emaShift, 1u);         // a = 1 (alpha = 0.5, N = 3)
+    EXPECT_EQ(cfg.degradationShift, 3u); // d = 3
+    EXPECT_EQ(cfg.conventionalSamples, 2u);
+    EXPECT_EQ(cfg.referenceSamples, 1u);
+    EXPECT_EQ(cfg.explorerSamples, 1u);
+}
+
+TEST(Config, InvalidWhenNotPow2)
+{
+    SystemConfig cfg;
+    cfg.l2Banks = 33;
+    EXPECT_FALSE(cfg.valid());
+}
+
+TEST(Config, SmallerConfigStillValid)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Banks = 16;
+    cfg.l2SizeBytes = 4ull << 20;
+    EXPECT_TRUE(cfg.valid());
+    EXPECT_EQ(cfg.banksPerCore(), 4u);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * JSON writer tests: nesting, commas, escaping, numeric formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/json.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter w;
+    w.beginObject().endObject();
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray)
+{
+    JsonWriter w;
+    w.beginArray().endArray();
+    EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonWriter, SimpleFields)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", std::uint64_t{1});
+    w.field("b", "two");
+    w.field("c", true);
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriter, ArrayOfValues)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.value("x");
+    w.endArray();
+    EXPECT_EQ(w.str(), R"([1,2,"x"])");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("list").beginArray();
+    w.beginObject().field("k", std::uint64_t{7}).endObject();
+    w.beginObject().field("k", std::uint64_t{8}).endObject();
+    w.endArray();
+    w.field("after", std::uint64_t{9});
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"list":[{"k":7},{"k":8}],"after":9})");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("s", std::string("a\"b\\c\nd\te"));
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, DoubleFormatting)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(1.5);
+    w.value(0.0);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[1.5,0]");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::nan(""));
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null]");
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Result serialization tests (JSON + CSV round out the public API).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+
+namespace espnuca {
+namespace {
+
+RunResult
+sample()
+{
+    RunResult r;
+    r.arch = "esp-nuca";
+    r.workload = "apache";
+    r.cycles = 1000;
+    r.instructions = 5000;
+    r.memOps = 1200;
+    r.throughput = 5.0;
+    r.avgIpc = 0.6;
+    r.avgAccessTime = 12.5;
+    r.offChipAccesses = 42;
+    r.onChipLatency = 30.5;
+    r.levelCounts[0] = 900;
+    r.levelContribution[0] = 2.5;
+    return r;
+}
+
+TEST(Report, JsonContainsHeadlineFields)
+{
+    const std::string j = runToJson(sample());
+    EXPECT_NE(j.find("\"arch\":\"esp-nuca\""), std::string::npos);
+    EXPECT_NE(j.find("\"workload\":\"apache\""), std::string::npos);
+    EXPECT_NE(j.find("\"cycles\":1000"), std::string::npos);
+    EXPECT_NE(j.find("\"off_chip_accesses\":42"), std::string::npos);
+    EXPECT_NE(j.find("\"service_levels\""), std::string::npos);
+    EXPECT_NE(j.find("\"local-l1\""), std::string::npos);
+}
+
+TEST(Report, JsonBalancedBraces)
+{
+    const std::string j = runToJson(sample());
+    int depth = 0;
+    for (char c : j) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    const std::string header = csvHeader();
+    const std::string row = runToCsv(sample());
+    const auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(header), count(row));
+    EXPECT_EQ(row.substr(0, 8), "esp-nuca");
+}
+
+TEST(Report, PointJsonCarriesCi)
+{
+    DataPoint p;
+    p.arch = "shared";
+    p.workload = "CG";
+    p.throughput.record(1.0);
+    p.throughput.record(2.0);
+    JsonWriter w;
+    writePointJson(w, p);
+    const std::string j = w.str();
+    EXPECT_NE(j.find("\"mean\":1.5"), std::string::npos);
+    EXPECT_NE(j.find("\"runs\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"ci95\""), std::string::npos);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end system runs: every architecture executes a small workload
+ * to completion and yields sane metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace espnuca {
+namespace {
+
+std::vector<std::string>
+allArchitectures()
+{
+    return {"shared",        "private",     "sp-nuca",
+            "sp-nuca-static", "sp-nuca-shadow", "esp-nuca",
+            "esp-nuca-flat", "d-nuca",      "asr",
+            "cc-0",          "cc-30",       "cc-70",
+            "cc-100"};
+}
+
+class EveryArch : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryArch, RunsTransactionalWorkload)
+{
+    SystemConfig cfg;
+    const RunResult r =
+        simulate(cfg, GetParam(), "apache", /*ops=*/4000, /*seed=*/1);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.avgIpc, 0.0);
+    EXPECT_LE(r.avgIpc, 4.0);
+    EXPECT_GT(r.avgAccessTime, 0.0);
+    // Every reference was attributed exactly once.
+    std::uint64_t refs = 0;
+    for (auto c : r.levelCounts)
+        refs += c;
+    EXPECT_GE(refs, r.memOps); // merged waiters can only add
+}
+
+TEST_P(EveryArch, RunsPrivateFootprintWorkload)
+{
+    SystemConfig cfg;
+    const RunResult r =
+        simulate(cfg, GetParam(), "gzip-4", 4000, 1);
+    EXPECT_GT(r.throughput, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, EveryArch,
+                         ::testing::ValuesIn(allArchitectures()));
+
+TEST(EndToEnd, L1CapturesMostReferences)
+{
+    SystemConfig cfg;
+    const RunResult r = simulate(cfg, "shared", "gzip-4", 8000, 1);
+    const auto l1 =
+        r.levelCounts[static_cast<std::size_t>(ServiceLevel::LocalL1)];
+    std::uint64_t total = 0;
+    for (auto c : r.levelCounts)
+        total += c;
+    // The synthetic streams are deliberately L2-stressing, but the L1
+    // still has to filter the plurality of references.
+    EXPECT_GT(l1 * 10, total * 4); // > 40 % L1 hits
+}
+
+TEST(EndToEnd, SharedPoolsCapacityForBigFootprints)
+{
+    // art's working set overflows a private tile but fits pooled:
+    // shared must see fewer off-chip accesses than private. Warm the
+    // caches first so compulsory misses don't drown the comparison.
+    SystemConfig cfg;
+    const RunResult shared =
+        simulate(cfg, "shared", "art-4", 40'000, 1, 0.5);
+    const RunResult priv =
+        simulate(cfg, "private", "art-4", 40'000, 1, 0.5);
+    EXPECT_LT(shared.offChipAccesses, priv.offChipAccesses);
+}
+
+TEST(EndToEnd, PrivateHasLowerOnChipLatencyForPrivateData)
+{
+    SystemConfig cfg;
+    const RunResult shared = simulate(cfg, "shared", "gzip-4", 8000, 1);
+    const RunResult priv = simulate(cfg, "private", "gzip-4", 8000, 1);
+    EXPECT_LT(priv.onChipLatency, shared.onChipLatency * 1.05);
+}
+
+TEST(EndToEnd, EspNucaCreatesHelpingBlocks)
+{
+    SystemConfig cfg;
+    const Workload wl = makeWorkload("apache", cfg, 8000, 1);
+    System sys(cfg, "esp-nuca", wl, 1);
+    sys.run();
+    auto &esp = dynamic_cast<EspNuca &>(sys.org());
+    EXPECT_GT(esp.replicasCreated() + esp.victimsCreated(), 0u);
+}
+
+TEST(EndToEnd, IdleCoresStayIdle)
+{
+    SystemConfig cfg;
+    const RunResult r = simulate(cfg, "shared", "gzip-4", 4000, 1);
+    // Only 5 cores are active (4 app + services).
+    EXPECT_GT(r.memOps, 0u);
+    EXPECT_LT(r.memOps, 6u * 4000u);
+}
+
+} // namespace
+} // namespace espnuca

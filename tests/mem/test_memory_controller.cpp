@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DRAM controller latency/bandwidth model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(MemoryController, UncontendedLatency)
+{
+    SystemConfig cfg;
+    MemoryController mc(cfg);
+    EXPECT_EQ(mc.access(100), 100 + cfg.memLatency);
+}
+
+TEST(MemoryController, BandwidthQueueing)
+{
+    SystemConfig cfg;
+    MemoryController mc(cfg);
+    const Cycle t1 = mc.access(0);
+    const Cycle t2 = mc.access(0);
+    const Cycle t3 = mc.access(0);
+    EXPECT_EQ(t1, cfg.memLatency);
+    EXPECT_EQ(t2, cfg.memCyclePerAccess + cfg.memLatency);
+    EXPECT_EQ(t3, 2 * cfg.memCyclePerAccess + cfg.memLatency);
+    EXPECT_EQ(mc.queueWait(), 3 * cfg.memCyclePerAccess);
+}
+
+TEST(MemoryController, IdleChannelNoQueueing)
+{
+    SystemConfig cfg;
+    MemoryController mc(cfg);
+    mc.access(0);
+    const Cycle t = mc.access(10'000);
+    EXPECT_EQ(t, 10'000 + cfg.memLatency);
+}
+
+TEST(MemoryController, AccessCountAndReset)
+{
+    SystemConfig cfg;
+    MemoryController mc(cfg);
+    mc.access(0);
+    mc.access(0);
+    EXPECT_EQ(mc.accesses(), 2u);
+    mc.reset();
+    EXPECT_EQ(mc.accesses(), 0u);
+    EXPECT_EQ(mc.access(0), cfg.memLatency);
+}
+
+TEST(MemoryController, SaturationGrowsLinearly)
+{
+    SystemConfig cfg;
+    MemoryController mc(cfg);
+    Cycle last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = mc.access(0);
+    EXPECT_EQ(last, 99 * cfg.memCyclePerAccess + cfg.memLatency);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 1a layout tests: cores on the top/bottom rows, banks co-located
+ * with their owner's router, memory controllers on the central row.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(Topology, GridShape)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.numNodes(), 12u);
+}
+
+TEST(Topology, NodeCoordRoundTrip)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    for (NodeId n = 0; n < t.numNodes(); ++n)
+        EXPECT_EQ(t.nodeAt(t.coordOf(n)), n);
+}
+
+TEST(Topology, CoresOnOuterRows)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_EQ(t.coordOf(t.coreNode(c)).y, 0u) << c;
+        EXPECT_EQ(t.coordOf(t.coreNode(c)).x, c) << c;
+    }
+    for (CoreId c = 4; c < 8; ++c) {
+        EXPECT_EQ(t.coordOf(t.coreNode(c)).y, 2u) << c;
+        EXPECT_EQ(t.coordOf(t.coreNode(c)).x, c - 4) << c;
+    }
+}
+
+TEST(Topology, BanksColocatedWithOwner)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    for (BankId b = 0; b < cfg.l2Banks; ++b) {
+        const CoreId owner = t.bankOwner(b);
+        EXPECT_EQ(t.bankNode(b), t.coreNode(owner)) << b;
+        EXPECT_EQ(owner, b / 4) << b;
+    }
+}
+
+TEST(Topology, MemControllersOnCentralRow)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    for (std::uint32_t m = 0; m < cfg.memControllers; ++m)
+        EXPECT_EQ(t.coordOf(t.memNode(m)).y, 1u) << m;
+    // Spread across distinct columns.
+    EXPECT_NE(t.memNode(0), t.memNode(cfg.memControllers - 1));
+}
+
+TEST(Topology, HopsIsManhattan)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    // P0 at (0,0), P7 at (3,2): 3 + 2 hops.
+    EXPECT_EQ(t.hops(t.coreNode(0), t.coreNode(7)), 5u);
+    EXPECT_EQ(t.hops(t.coreNode(0), t.coreNode(0)), 0u);
+    EXPECT_EQ(t.hops(t.coreNode(0), t.coreNode(4)), 2u);
+}
+
+TEST(Topology, SymmetricHops)
+{
+    SystemConfig cfg;
+    Topology t(cfg);
+    for (NodeId a = 0; a < t.numNodes(); ++a)
+        for (NodeId b = 0; b < t.numNodes(); ++b)
+            EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete-event kernel tests: ordering, determinism, clock semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.schedule(1, [&]() { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2u);
+}
+
+TEST(EventQueue, ZeroDelayRunsAtSameTime)
+{
+    EventQueue eq;
+    Cycle when = 999;
+    eq.schedule(7, [&]() {
+        eq.schedule(0, [&]() { when = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(when, 7u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&]() { ++fired; });
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(15, [&]() { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() { ++fired; });
+    eq.schedule(2, [&]() { ++fired; });
+    eq.step();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 1u);
+}
+
+TEST(EventQueue, ScheduleAtAbsolute)
+{
+    EventQueue eq;
+    Cycle when = 0;
+    eq.scheduleAt(42, [&]() { when = eq.now(); });
+    eq.run();
+    EXPECT_EQ(when, 42u);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, []() {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, HeavyInterleavingDeterministic)
+{
+    auto run_once = []() {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 200; ++i) {
+            eq.schedule(static_cast<Cycle>((i * 7) % 20),
+                        [&order, i]() { order.push_back(i); });
+        }
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The shift-based EMA of paper equation (2), including parameterized
+ * convergence sweeps over (a, b).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stats/ema.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(ShiftEma, StartsAtZero)
+{
+    ShiftEma e(8, 1);
+    EXPECT_EQ(e.raw(), 0u);
+    EXPECT_DOUBLE_EQ(e.fraction(), 0.0);
+}
+
+TEST(ShiftEma, SingleHitMatchesEquation)
+{
+    // EMA' = EMA - (EMA >> a) + (2^b >> a); from 0 with a=1, b=8:
+    // 0 - 0 + 128 = 128.
+    ShiftEma e(8, 1);
+    e.record(true);
+    EXPECT_EQ(e.raw(), 128u);
+}
+
+TEST(ShiftEma, SingleMissDecays)
+{
+    ShiftEma e(8, 1);
+    e.record(true);  // 128
+    e.record(false); // 128 - 64 = 64
+    EXPECT_EQ(e.raw(), 64u);
+}
+
+TEST(ShiftEma, AllHitsConvergeToFullScale)
+{
+    ShiftEma e(8, 1);
+    for (int i = 0; i < 64; ++i)
+        e.record(true);
+    // Fixed point of x = x - x/2 + 128 is 256 = 2^b; integer
+    // truncation may sit just below.
+    EXPECT_GE(e.raw(), 254u);
+    EXPECT_LE(e.raw(), 256u);
+}
+
+TEST(ShiftEma, AllMissesConvergeToZero)
+{
+    ShiftEma e(8, 1);
+    for (int i = 0; i < 32; ++i)
+        e.record(true);
+    for (int i = 0; i < 64; ++i)
+        e.record(false);
+    // The truncating hardware update x -= x >> a floors at 1 (1 >> 1
+    // == 0), exactly as a shifter-based implementation would.
+    EXPECT_LE(e.raw(), 1u);
+}
+
+TEST(ShiftEma, ResetRestoresValue)
+{
+    ShiftEma e(8, 2);
+    for (int i = 0; i < 10; ++i)
+        e.record(true);
+    e.reset();
+    EXPECT_EQ(e.raw(), 0u);
+    e.reset(100);
+    EXPECT_EQ(e.raw(), 100u);
+}
+
+/** Parameterized sweep: the EMA tracks a steady hit rate within
+ *  quantization error for every hardware-plausible (b, a) pair. */
+class EmaConvergence
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, int>>
+{
+};
+
+TEST_P(EmaConvergence, TracksSteadyRate)
+{
+    const auto [b, a, percent] = GetParam();
+    ShiftEma e(b, a);
+    // Deterministic stream with `percent`% hits.
+    int acc = 0;
+    for (int i = 0; i < 4096; ++i) {
+        acc += percent;
+        const bool hit = acc >= 100;
+        if (hit)
+            acc -= 100;
+        e.record(hit);
+    }
+    const double expect = percent / 100.0;
+    // Tolerance: smoothing alpha=2^-a ripples plus truncation bias.
+    const double tol = 1.0 / (1u << a) * 0.6 + 8.0 / (1u << b);
+    EXPECT_NEAR(e.fraction(), expect, tol)
+        << "b=" << b << " a=" << a << " p=" << percent;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmaConvergence,
+    ::testing::Combine(::testing::Values(6u, 8u, 10u, 12u),
+                       ::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(0, 25, 50, 75, 100)));
+
+TEST(ShiftEma, PaperConfigurationIsB8A1)
+{
+    // Section 5.2: b = 8, N = 3 => alpha = 0.5 => a = 1.
+    ShiftEma e(8, 1);
+    EXPECT_EQ(e.bits(), 8u);
+    EXPECT_EQ(e.shift(), 1u);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Latency histogram tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(Histogram, RecordsIntoBuckets)
+{
+    Histogram h(10, 5);
+    h.record(0);
+    h.record(9);
+    h.record(10);
+    h.record(49);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OverflowLandsInLastBucket)
+{
+    Histogram h(10, 3);
+    h.record(1000);
+    EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST(Histogram, MeanOfSamples)
+{
+    Histogram h(1, 100);
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h(5, 20);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(10, 4);
+    h.record(5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(0), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(10, 4);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+} // namespace
+} // namespace espnuca

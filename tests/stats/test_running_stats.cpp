@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming moments and confidence intervals used for the paper's
+ * error bars and variance claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/running_stats.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1: sum sq dev = 32, / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleNoVariance)
+{
+    RunningStats s;
+    s.record(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunningStats, Ci95UsesStudentT)
+{
+    RunningStats s;
+    s.record(1.0);
+    s.record(3.0); // mean 2, sd sqrt(2)
+    // df = 1 -> t = 12.706; ci = t * sd / sqrt(2) = 12.706.
+    EXPECT_NEAR(s.ci95(), 12.706, 1e-9);
+}
+
+TEST(RunningStats, CvIsRelativeSpread)
+{
+    RunningStats s;
+    for (double x : {10.0, 10.0, 10.0})
+        s.record(x);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+    RunningStats t;
+    t.record(5.0);
+    t.record(15.0);
+    EXPECT_NEAR(t.cv(), t.stddev() / 10.0, 1e-12);
+}
+
+TEST(RunningStats, T95Table)
+{
+    EXPECT_NEAR(RunningStats::t95(1), 12.706, 1e-9);
+    EXPECT_NEAR(RunningStats::t95(10), 2.228, 1e-9);
+    EXPECT_NEAR(RunningStats::t95(30), 2.042, 1e-9);
+    EXPECT_NEAR(RunningStats::t95(1000), 1.960, 1e-9);
+}
+
+TEST(RunningStats, ResetClearsState)
+{
+    RunningStats s;
+    s.record(1.0);
+    s.record(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, LargeStreamStable)
+{
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.record((i % 2 == 0) ? 1.0 : 3.0);
+    EXPECT_NEAR(s.mean(), 2.0, 1e-9);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-4);
+}
+
+} // namespace
+} // namespace espnuca

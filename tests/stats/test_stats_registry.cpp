@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Named statistic registry tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats_registry.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(StatsRegistry, CountersCreateOnUse)
+{
+    StatsRegistry r;
+    r.counter("l1.0.hits").inc();
+    r.counter("l1.0.hits").inc(4);
+    EXPECT_EQ(r.counterValue("l1.0.hits"), 5u);
+    EXPECT_EQ(r.counterValue("absent"), 0u);
+}
+
+TEST(StatsRegistry, AveragesTrackMean)
+{
+    StatsRegistry r;
+    r.average("lat").record(10.0);
+    r.average("lat").record(20.0);
+    EXPECT_DOUBLE_EQ(r.averageValue("lat"), 15.0);
+    EXPECT_DOUBLE_EQ(r.averageValue("absent"), 0.0);
+}
+
+TEST(StatsRegistry, SumByPrefix)
+{
+    StatsRegistry r;
+    r.counter("bank.0.hits").inc(3);
+    r.counter("bank.1.hits").inc(4);
+    r.counter("bank.10.hits").inc(5);
+    r.counter("core.0.hits").inc(100);
+    EXPECT_EQ(r.sumByPrefix("bank."), 12u);
+    EXPECT_EQ(r.sumByPrefix("core."), 100u);
+    EXPECT_EQ(r.sumByPrefix("nothing."), 0u);
+}
+
+TEST(StatsRegistry, DumpIsSortedAndComplete)
+{
+    StatsRegistry r;
+    r.counter("z").inc();
+    r.counter("a").inc(2);
+    std::ostringstream os;
+    r.dump(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find("a 2"), out.find("z 1"));
+}
+
+TEST(StatsRegistry, ResetClearsEverything)
+{
+    StatsRegistry r;
+    r.counter("x").inc();
+    r.average("y").record(1.0);
+    r.reset();
+    EXPECT_EQ(r.counterValue("x"), 0u);
+    EXPECT_DOUBLE_EQ(r.averageValue("y"), 0.0);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Workload preset structure tests: Table 1 coverage, family shapes,
+ * perturbation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/presets.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(Presets, TwentyTwoWorkloads)
+{
+    EXPECT_EQ(allWorkloads().size(), 22u);
+    EXPECT_EQ(transactionalWorkloads().size(), 4u);
+    EXPECT_EQ(halfRateWorkloads().size(), 5u);
+    EXPECT_EQ(hybridWorkloads().size(), 5u);
+    EXPECT_EQ(npbWorkloads().size(), 8u);
+}
+
+TEST(Presets, EveryWorkloadBuilds)
+{
+    SystemConfig cfg;
+    for (const auto &name : allWorkloads()) {
+        const Workload w = makeWorkload(name, cfg, 1000, 1);
+        EXPECT_EQ(w.name, name);
+        EXPECT_EQ(w.cores.size(), cfg.numCores);
+        std::uint64_t active = 0;
+        for (const auto &p : w.cores)
+            active += p.ops > 0;
+        EXPECT_GE(active, 4u) << name;
+    }
+}
+
+TEST(Presets, TransactionalAllCoresShareOneApp)
+{
+    SystemConfig cfg;
+    const Workload w = makeWorkload("oltp", cfg, 1000, 1);
+    for (const auto &p : w.cores) {
+        EXPECT_GT(p.ops, 0u);
+        EXPECT_GT(p.sharedFraction, 0.2);
+        EXPECT_EQ(p.appId, 1u);
+        EXPECT_GT(p.osFraction, 0.0);
+    }
+}
+
+TEST(Presets, HalfRateRunsFourPlusServices)
+{
+    SystemConfig cfg;
+    const Workload w = makeWorkload("art-4", cfg, 1000, 1);
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_GT(w.cores[c].ops, 0u) << c;
+        EXPECT_EQ(w.cores[c].sharedFraction, 0.0) << c;
+    }
+    EXPECT_GT(w.cores[4].ops, 0u);
+    EXPECT_LT(w.cores[4].ops, w.cores[0].ops);
+    EXPECT_EQ(w.cores[5].ops, 0u);
+    EXPECT_EQ(w.cores[6].ops, 0u);
+    EXPECT_EQ(w.cores[7].ops, 0u);
+}
+
+TEST(Presets, HybridSplitsTwoApps)
+{
+    SystemConfig cfg;
+    const Workload w = makeWorkload("mcf-gzip", cfg, 1000, 1);
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(w.cores[c].appId, 1u);
+    for (CoreId c = 4; c < 8; ++c)
+        EXPECT_EQ(w.cores[c].appId, 2u);
+    // mcf's footprint dwarfs gzip's.
+    EXPECT_GT(w.cores[0].hotBytes, w.cores[4].hotBytes * 3);
+}
+
+TEST(Presets, NpbHasLimitedSharing)
+{
+    SystemConfig cfg;
+    const Workload w = makeWorkload("CG", cfg, 1000, 1);
+    for (const auto &p : w.cores) {
+        EXPECT_GT(p.ops, 0u);
+        EXPECT_LE(p.sharedFraction, 0.15);
+        EXPECT_GT(p.coldBytes, 0u); // streaming component
+    }
+}
+
+TEST(Presets, SeedsPerturbParameters)
+{
+    SystemConfig cfg;
+    const Workload a = makeWorkload("apache", cfg, 10000, 1);
+    const Workload b = makeWorkload("apache", cfg, 10000, 2);
+    bool differs = false;
+    for (CoreId c = 0; c < cfg.numCores; ++c)
+        differs |= a.cores[c].ops != b.cores[c].ops ||
+                   a.cores[c].hotBytes != b.cores[c].hotBytes;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Presets, SameSeedReproduces)
+{
+    SystemConfig cfg;
+    const Workload a = makeWorkload("apache", cfg, 10000, 5);
+    const Workload b = makeWorkload("apache", cfg, 10000, 5);
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        EXPECT_EQ(a.cores[c].ops, b.cores[c].ops);
+        EXPECT_EQ(a.cores[c].hotBytes, b.cores[c].hotBytes);
+    }
+}
+
+TEST(Presets, UnknownNameFatal)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH(
+        { makeWorkload("not-a-workload", cfg, 100, 1); }, ".*");
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Synthetic generator tests: determinism, region structure, mix ratios,
+ * locality shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/trace_gen.hpp"
+
+namespace espnuca {
+namespace {
+
+StreamParams
+basicParams()
+{
+    StreamParams p;
+    p.ops = 20000;
+    p.gapMean = 3.0;
+    p.ifetchFraction = 0.2;
+    p.hotBytes = 64 * 1024;
+    p.zipfTheta = 0.7;
+    p.sharedBytes = 256 * 1024;
+    p.sharedFraction = 0.3;
+    p.writeFraction = 0.25;
+    p.coreId = 2;
+    p.appId = 1;
+    return p;
+}
+
+TEST(SyntheticSource, DeterministicPerSeed)
+{
+    SystemConfig cfg;
+    SyntheticSource a(cfg, basicParams(), 99);
+    SyntheticSource b(cfg, basicParams(), 99);
+    TraceOp x, y;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a.next(x));
+        ASSERT_TRUE(b.next(y));
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.type, y.type);
+        EXPECT_EQ(x.gap, y.gap);
+    }
+}
+
+TEST(SyntheticSource, DifferentSeedsDiffer)
+{
+    SystemConfig cfg;
+    SyntheticSource a(cfg, basicParams(), 1);
+    SyntheticSource b(cfg, basicParams(), 2);
+    TraceOp x, y;
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a.next(x);
+        b.next(y);
+        same += x.addr == y.addr;
+    }
+    EXPECT_LT(same, 100);
+}
+
+TEST(SyntheticSource, ExhaustsAfterOps)
+{
+    SystemConfig cfg;
+    StreamParams p = basicParams();
+    p.ops = 100;
+    SyntheticSource s(cfg, p, 1);
+    TraceOp op;
+    int n = 0;
+    while (s.next(op))
+        ++n;
+    EXPECT_EQ(n, 100);
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(SyntheticSource, MixMatchesFractions)
+{
+    SystemConfig cfg;
+    SyntheticSource s(cfg, basicParams(), 3);
+    TraceOp op;
+    int ifetch = 0, stores = 0, total = 0;
+    while (s.next(op)) {
+        ++total;
+        ifetch += op.type == AccessType::Ifetch;
+        stores += op.type == AccessType::Store;
+    }
+    EXPECT_NEAR(ifetch / double(total), 0.2, 0.02);
+    // writeFraction applies to data accesses only.
+    EXPECT_NEAR(stores / double(total), 0.25 * 0.8, 0.02);
+}
+
+TEST(SyntheticSource, RegionsAreDisjointPerCore)
+{
+    SystemConfig cfg;
+    StreamParams p1 = basicParams();
+    StreamParams p2 = basicParams();
+    p2.coreId = 5;
+    p1.sharedFraction = p2.sharedFraction = 0.0;
+    p1.ifetchFraction = p2.ifetchFraction = 0.0;
+    p1.osFraction = p2.osFraction = 0.0;
+    SyntheticSource a(cfg, p1, 1), b(cfg, p2, 1);
+    std::set<Addr> sa, sb;
+    TraceOp op;
+    for (int i = 0; i < 2000; ++i) {
+        a.next(op);
+        sa.insert(op.addr & ~0x3Full);
+        b.next(op);
+        sb.insert(op.addr & ~0x3Full);
+    }
+    for (Addr x : sa)
+        EXPECT_EQ(sb.count(x), 0u);
+}
+
+TEST(SyntheticSource, SharedRegionOverlapsAcrossCores)
+{
+    SystemConfig cfg;
+    StreamParams p1 = basicParams();
+    StreamParams p2 = basicParams();
+    p2.coreId = 5;
+    p1.sharedFraction = p2.sharedFraction = 1.0;
+    p1.ifetchFraction = p2.ifetchFraction = 0.0;
+    SyntheticSource a(cfg, p1, 1), b(cfg, p2, 2);
+    std::set<Addr> sa;
+    TraceOp op;
+    for (int i = 0; i < 3000; ++i) {
+        a.next(op);
+        sa.insert(op.addr);
+    }
+    int overlap = 0;
+    for (int i = 0; i < 3000; ++i) {
+        b.next(op);
+        overlap += sa.count(op.addr) != 0;
+    }
+    EXPECT_GT(overlap, 500);
+}
+
+TEST(SyntheticSource, ZipfConcentratesAccesses)
+{
+    SystemConfig cfg;
+    StreamParams p = basicParams();
+    p.sharedFraction = 0.0;
+    p.ifetchFraction = 0.0;
+    p.zipfTheta = 0.8;
+    SyntheticSource s(cfg, p, 7);
+    std::map<Addr, int> counts;
+    TraceOp op;
+    while (s.next(op))
+        ++counts[op.addr];
+    // Top-10% blocks take well over 10% of accesses.
+    std::vector<int> v;
+    for (const auto &[a, c] : counts)
+        v.push_back(c);
+    std::sort(v.rbegin(), v.rend());
+    const std::size_t top = std::max<std::size_t>(1, v.size() / 10);
+    long top_sum = 0, total = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        total += v[i];
+        if (i < top)
+            top_sum += v[i];
+    }
+    EXPECT_GT(top_sum * 10, total * 3); // >= 30% in the top decile
+}
+
+TEST(SyntheticSource, ColdStreamNeverRevisitsWithinASweep)
+{
+    // The cold cursor walks every block exactly once per lap (no reuse
+    // inside a sweep) even though addresses are scattered over the
+    // region's virtual span.
+    SystemConfig cfg;
+    StreamParams p = basicParams();
+    p.sharedFraction = 0.0;
+    p.ifetchFraction = 0.0;
+    p.coldBytes = 1 << 20; // 16384 blocks
+    p.coldFraction = 1.0;
+    p.ops = 16384;
+    SyntheticSource s(cfg, p, 1);
+    std::set<Addr> seen;
+    TraceOp op;
+    while (s.next(op))
+        EXPECT_TRUE(seen.insert(op.addr).second);
+    EXPECT_EQ(seen.size(), 16384u);
+}
+
+TEST(RegionBase, DisjointPrefixes)
+{
+    EXPECT_NE(regionBase(Region::PrivateHot, 0),
+              regionBase(Region::PrivateCold, 0));
+    EXPECT_NE(regionBase(Region::PrivateHot, 0),
+              regionBase(Region::PrivateHot, 1));
+    EXPECT_NE(regionBase(Region::SharedData, 1),
+              regionBase(Region::SharedData, 2));
+}
+
+} // namespace
+} // namespace espnuca

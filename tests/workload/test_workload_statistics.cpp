@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Statistical property checks of the Table 1 presets: each family's
+ * streams must actually exhibit the characteristics the paper ascribes
+ * to it (sharing degree, footprints, write intensity, imbalance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/presets.hpp"
+
+namespace espnuca {
+namespace {
+
+struct StreamStats
+{
+    std::uint64_t total = 0;
+    std::uint64_t ifetch = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t dependent = 0;
+    std::set<Addr> blocks;
+    std::map<std::uint64_t, std::uint64_t> byRegion; // addr>>44 -> count
+};
+
+StreamStats
+sample(const SystemConfig &cfg, const StreamParams &p,
+       std::uint64_t seed = 7)
+{
+    StreamStats s;
+    SyntheticSource src(cfg, p, seed);
+    TraceOp op;
+    while (src.next(op)) {
+        ++s.total;
+        s.ifetch += op.type == AccessType::Ifetch;
+        s.stores += op.type == AccessType::Store;
+        s.dependent += op.dependsOnPrev;
+        s.blocks.insert(op.addr & ~0x3Full);
+        ++s.byRegion[op.addr >> 44];
+    }
+    return s;
+}
+
+constexpr std::uint64_t kSharedData =
+    static_cast<std::uint64_t>(Region::SharedData);
+constexpr std::uint64_t kOs = static_cast<std::uint64_t>(Region::OsData);
+
+double
+sharedDataFraction(const StreamStats &s)
+{
+    const auto it = s.byRegion.find(kSharedData);
+    const double shared =
+        it == s.byRegion.end() ? 0.0 : static_cast<double>(it->second);
+    return shared / static_cast<double>(s.total);
+}
+
+class FamilyStats : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FamilyStats, TransactionalHaveHighSharingAndOsActivity)
+{
+    if (GetParam() != "transactional")
+        GTEST_SKIP();
+    SystemConfig cfg;
+    for (const auto &name : transactionalWorkloads()) {
+        const Workload w = makeWorkload(name, cfg, 30'000, 1);
+        const StreamStats s = sample(cfg, w.cores[0]);
+        EXPECT_GT(sharedDataFraction(s), 0.15) << name;
+        EXPECT_GT(s.byRegion.count(kOs), 0u) << name;
+        EXPECT_GT(s.ifetch, s.total / 8) << name; // big code footprint
+    }
+}
+
+TEST_P(FamilyStats, MultiprogrammedHaveNoDataSharing)
+{
+    if (GetParam() != "multiprogrammed")
+        GTEST_SKIP();
+    SystemConfig cfg;
+    for (const auto &name : halfRateWorkloads()) {
+        const Workload w = makeWorkload(name, cfg, 30'000, 1);
+        for (CoreId c = 0; c < 4; ++c)
+            EXPECT_EQ(w.cores[c].sharedFraction, 0.0) << name;
+    }
+    // Instances of the same program share only the binary and the OS
+    // image; their *data* regions are fully disjoint.
+    const Workload w = makeWorkload("gcc-4", cfg, 30'000, 1);
+    const StreamStats a = sample(cfg, w.cores[0]);
+    const StreamStats b = sample(cfg, w.cores[1]);
+    auto is_private_data = [](Addr x) {
+        const auto kind = x >> 44;
+        return kind == static_cast<std::uint64_t>(Region::PrivateHot) ||
+               kind == static_cast<std::uint64_t>(Region::PrivateCold);
+    };
+    std::uint64_t data_overlap = 0, any_overlap = 0;
+    for (Addr x : a.blocks) {
+        if (b.blocks.count(x)) {
+            ++any_overlap;
+            data_overlap += is_private_data(x);
+        }
+    }
+    EXPECT_EQ(data_overlap, 0u);
+    EXPECT_LT(any_overlap, a.blocks.size() / 4); // code + OS only
+}
+
+TEST_P(FamilyStats, NpbHaveLimitedSharingAndStreams)
+{
+    if (GetParam() != "npb")
+        GTEST_SKIP();
+    SystemConfig cfg;
+    for (const auto &name : npbWorkloads()) {
+        const Workload w = makeWorkload(name, cfg, 30'000, 1);
+        const StreamStats s = sample(cfg, w.cores[0]);
+        EXPECT_LT(sharedDataFraction(s), 0.15) << name;
+        EXPECT_GT(s.byRegion.count(
+                      static_cast<std::uint64_t>(Region::PrivateCold)),
+                  0u)
+            << name; // streaming component present
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilyStats,
+                         ::testing::Values("transactional",
+                                           "multiprogrammed", "npb"));
+
+TEST(WorkloadStats, FootprintOrderingMatchesPaperNarrative)
+{
+    // art/mcf carry much larger distinct footprints than gcc/gzip —
+    // the driver of the paper's Figure 9 split.
+    SystemConfig cfg;
+    auto blocks = [&](const char *wl) {
+        const Workload w = makeWorkload(wl, cfg, 40'000, 1);
+        return sample(cfg, w.cores[0]).blocks.size();
+    };
+    const auto mcf = blocks("mcf-4");
+    const auto art = blocks("art-4");
+    const auto gcc = blocks("gcc-4");
+    const auto gzip = blocks("gzip-4");
+    EXPECT_GT(mcf, 2 * gzip);
+    EXPECT_GT(art, 2 * gzip);
+    EXPECT_GT(mcf, gcc);
+}
+
+TEST(WorkloadStats, WriteIntensityWithinFamilyBounds)
+{
+    SystemConfig cfg;
+    for (const auto &name : allWorkloads()) {
+        const Workload w = makeWorkload(name, cfg, 20'000, 1);
+        for (const auto &p : w.cores) {
+            if (p.ops == 0)
+                continue;
+            const StreamStats s = sample(cfg, p);
+            const double writes =
+                static_cast<double>(s.stores) /
+                static_cast<double>(s.total);
+            EXPECT_GT(writes, 0.02) << name;
+            EXPECT_LT(writes, 0.45) << name;
+            break; // one representative core per workload
+        }
+    }
+}
+
+TEST(WorkloadStats, DependenceFractionTracksPreset)
+{
+    SystemConfig cfg;
+    const Workload w = makeWorkload("mcf-4", cfg, 40'000, 1);
+    const StreamStats s = sample(cfg, w.cores[0]);
+    // mcf is the pointer-chasing champion: ~50 % of loads dependent.
+    const double dep_of_total =
+        static_cast<double>(s.dependent) / static_cast<double>(s.total);
+    EXPECT_GT(dep_of_total, 0.30);
+    const Workload g = makeWorkload("gzip-4", cfg, 40'000, 1);
+    const StreamStats sg = sample(cfg, g.cores[0]);
+    EXPECT_LT(static_cast<double>(sg.dependent) /
+                  static_cast<double>(sg.total),
+              dep_of_total);
+}
+
+TEST(WorkloadStats, SharedWindowConcentratesReuse)
+{
+    // With the session-window model on, a core revisits recently used
+    // shared blocks far more often than a pure Zipf draw would.
+    SystemConfig cfg;
+    StreamParams p;
+    p.ops = 30'000;
+    p.sharedBytes = 2 << 20;
+    p.sharedFraction = 1.0;
+    p.ifetchFraction = 0.0;
+    p.writeFraction = 0.0;
+    p.zipfTheta = 0.3;
+    auto distinct = [&](std::uint64_t window_blocks) {
+        StreamParams q = p;
+        q.sharedWindowBlocks = window_blocks;
+        q.sharedWindowFraction = window_blocks ? 0.6 : 0.0;
+        return sample(cfg, q).blocks.size();
+    };
+    EXPECT_LT(distinct(2048), distinct(0) * 8 / 10);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * espnuca-sim: command-line front end to the simulator.
+ *
+ *   espnuca-sim --arch esp-nuca --workload apache --ops 100000
+ *   espnuca-sim --arch shared --workload CG --runs 3 --json
+ *   espnuca-sim --list-archs
+ *   espnuca-sim --list-workloads
+ *   espnuca-sim --arch esp-nuca --workload oltp --record-trace /tmp/t
+ *   espnuca-sim --arch private --replay-trace /tmp/t --cores 8
+ *
+ * Overridable system parameters (Table 2 defaults otherwise):
+ *   --l2-mb N  --banks N  --ways N  --mem-latency N  --cores N
+ *   --window N  --mshrs N  --d N (monitor degradation shift)
+ * Run control:
+ *   --ops N  --seed N  --runs N  --warmup F  --json  --csv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/system.hpp"
+#include "workload/trace_file.hpp"
+
+using namespace espnuca;
+
+namespace {
+
+struct Options
+{
+    std::string arch = "esp-nuca";
+    std::string workload = "apache";
+    std::uint64_t ops = 100'000;
+    std::uint64_t seed = 1;
+    std::uint32_t runs = 1;
+    double warmup = 0.5;
+    bool json = false;
+    bool csv = false;
+    bool stats = false;
+    std::string recordTrace;
+    std::string replayTrace;
+    SystemConfig system;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: espnuca-sim [options]\n"
+        "  --arch NAME          architecture (see --list-archs)\n"
+        "  --workload NAME      Table 1 preset (see --list-workloads)\n"
+        "  --ops N              memory references per core\n"
+        "  --seed N             base seed\n"
+        "  --runs N             seeded repetitions (reports each run)\n"
+        "  --warmup F           warmup fraction before stats [0,1)\n"
+        "  --json | --csv       machine-readable output\n"
+        "  --stats              dump per-component statistics\n"
+        "  --record-trace DIR   capture the generated streams to DIR\n"
+        "  --replay-trace DIR   replay core<N>.trace files from DIR\n"
+        "  --l2-mb N --banks N --ways N --mem-latency N --cores N\n"
+        "  --window N --mshrs N --d N\n"
+        "  --list-archs, --list-workloads, --help\n");
+    std::exit(code);
+}
+
+std::uint64_t
+parseU64(const char *s)
+{
+    return std::strtoull(s, nullptr, 10);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             a.c_str());
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a == "--list-archs") {
+            for (const char *n :
+                 {"shared", "private", "sp-nuca", "sp-nuca-static",
+                  "sp-nuca-shadow", "esp-nuca", "esp-nuca-flat",
+                  "d-nuca", "asr", "cc-0", "cc-30", "cc-70", "cc-100"})
+                std::printf("%s\n", n);
+            std::exit(0);
+        } else if (a == "--list-workloads") {
+            for (const auto &w : allWorkloads())
+                std::printf("%s\n", w.c_str());
+            std::exit(0);
+        } else if (a == "--arch") {
+            o.arch = next();
+        } else if (a == "--workload") {
+            o.workload = next();
+        } else if (a == "--ops") {
+            o.ops = parseU64(next());
+        } else if (a == "--seed") {
+            o.seed = parseU64(next());
+        } else if (a == "--runs") {
+            o.runs = static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--warmup") {
+            o.warmup = std::atof(next());
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (a == "--stats") {
+            o.stats = true;
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else if (a == "--record-trace") {
+            o.recordTrace = next();
+        } else if (a == "--replay-trace") {
+            o.replayTrace = next();
+        } else if (a == "--l2-mb") {
+            o.system.l2SizeBytes = parseU64(next()) << 20;
+        } else if (a == "--banks") {
+            o.system.l2Banks =
+                static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--ways") {
+            o.system.l2Ways =
+                static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--mem-latency") {
+            o.system.memLatency = parseU64(next());
+        } else if (a == "--cores") {
+            o.system.numCores =
+                static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--window") {
+            o.system.windowSize =
+                static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--mshrs") {
+            o.system.maxOutstanding =
+                static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--d") {
+            o.system.degradationShift =
+                static_cast<std::uint32_t>(parseU64(next()));
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage(2);
+        }
+    }
+    if (!o.system.valid()) {
+        std::fprintf(stderr, "inconsistent system configuration\n");
+        std::exit(2);
+    }
+    return o;
+}
+
+RunResult
+runOnce(const Options &o, std::uint64_t seed)
+{
+    const SystemConfig &cfg = o.system;
+    if (!o.replayTrace.empty()) {
+        std::vector<std::unique_ptr<TraceSource>> sources(cfg.numCores);
+        std::uint64_t total = 0;
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            const std::string path =
+                o.replayTrace + "/core" + std::to_string(c) + ".trace";
+            std::ifstream probe(path);
+            if (probe.good()) {
+                sources[c] = std::make_unique<FileTraceSource>(path);
+                total += o.ops; // upper bound for the warmup threshold
+            }
+        }
+        System sys(cfg, o.arch, "replay:" + o.replayTrace,
+                   std::move(sources), seed, o.warmup, total);
+        const RunResult r = sys.run();
+        if (o.stats)
+            sys.dumpStats(std::cout);
+        return r;
+    }
+
+    const Workload wl = makeWorkload(o.workload, cfg, o.ops, seed);
+    if (!o.recordTrace.empty()) {
+        std::vector<std::unique_ptr<TraceSource>> sources(cfg.numCores);
+        std::uint64_t total = 0;
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            if (wl.cores[c].ops == 0)
+                continue;
+            total += wl.cores[c].ops;
+            auto inner = std::make_unique<SyntheticSource>(
+                cfg, wl.cores[c], seed * 1000003ULL + c);
+            sources[c] = std::make_unique<RecordingSource>(
+                std::move(inner),
+                o.recordTrace + "/core" + std::to_string(c) + ".trace");
+        }
+        System sys(cfg, o.arch, wl.name, std::move(sources), seed,
+                   o.warmup, total);
+        const RunResult r = sys.run();
+        if (o.stats)
+            sys.dumpStats(std::cout);
+        return r;
+    }
+
+    System sys(cfg, o.arch, wl, seed, o.warmup);
+    const RunResult r = sys.run();
+    if (o.stats)
+        sys.dumpStats(std::cout);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+
+    if (o.csv)
+        std::printf("%s\n", csvHeader().c_str());
+    JsonWriter json;
+    if (o.json)
+        json.beginArray();
+
+    RunningStats thr;
+    for (std::uint32_t r = 0; r < o.runs; ++r) {
+        const RunResult res = runOnce(o, o.seed + r * 7919);
+        thr.record(res.throughput);
+        if (o.json) {
+            writeRunJson(json, res);
+        } else if (o.csv) {
+            std::printf("%s\n", runToCsv(res).c_str());
+        } else {
+            std::printf("run %u: arch=%s workload=%s throughput=%.3f "
+                        "avgIpc=%.3f accessTime=%.2f offchip=%llu\n",
+                        r, res.arch.c_str(), res.workload.c_str(),
+                        res.throughput, res.avgIpc, res.avgAccessTime,
+                        static_cast<unsigned long long>(
+                            res.offChipAccesses));
+        }
+    }
+    if (o.json) {
+        json.endArray();
+        std::printf("%s\n", json.str().c_str());
+    } else if (!o.csv && o.runs > 1) {
+        std::printf("throughput mean=%.3f ci95=%.3f over %u runs\n",
+                    thr.mean(), thr.ci95(), o.runs);
+    }
+    return 0;
+}

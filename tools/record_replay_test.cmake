@@ -1,0 +1,34 @@
+# Integration test: capture a workload's streams to trace files, then
+# replay them through a different architecture; both runs must complete.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+    COMMAND ${SIM} --arch shared --workload gzip-4 --ops 2000
+            --warmup 0 --record-trace ${WORKDIR}
+    RESULT_VARIABLE rec_result
+)
+if(NOT rec_result EQUAL 0)
+    message(FATAL_ERROR "record run failed: ${rec_result}")
+endif()
+
+file(GLOB traces ${WORKDIR}/core*.trace)
+list(LENGTH traces n)
+if(n LESS 4)
+    message(FATAL_ERROR "expected >= 4 trace files, got ${n}")
+endif()
+
+execute_process(
+    COMMAND ${SIM} --arch esp-nuca --replay-trace ${WORKDIR}
+            --warmup 0 --csv
+    RESULT_VARIABLE rep_result
+    OUTPUT_VARIABLE rep_out
+)
+if(NOT rep_result EQUAL 0)
+    message(FATAL_ERROR "replay run failed: ${rep_result}")
+endif()
+string(FIND "${rep_out}" "esp-nuca,replay:" found)
+if(found EQUAL -1)
+    message(FATAL_ERROR "replay output missing expected row: ${rep_out}")
+endif()
+file(REMOVE_RECURSE ${WORKDIR})

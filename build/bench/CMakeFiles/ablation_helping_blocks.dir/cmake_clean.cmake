@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_helping_blocks.dir/ablation_helping_blocks.cpp.o"
+  "CMakeFiles/ablation_helping_blocks.dir/ablation_helping_blocks.cpp.o.d"
+  "ablation_helping_blocks"
+  "ablation_helping_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_helping_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

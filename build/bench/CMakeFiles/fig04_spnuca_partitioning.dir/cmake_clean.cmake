@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_spnuca_partitioning.dir/fig04_spnuca_partitioning.cpp.o"
+  "CMakeFiles/fig04_spnuca_partitioning.dir/fig04_spnuca_partitioning.cpp.o.d"
+  "fig04_spnuca_partitioning"
+  "fig04_spnuca_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_spnuca_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

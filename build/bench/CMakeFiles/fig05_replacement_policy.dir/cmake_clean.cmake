@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_replacement_policy.dir/fig05_replacement_policy.cpp.o"
+  "CMakeFiles/fig05_replacement_policy.dir/fig05_replacement_policy.cpp.o.d"
+  "fig05_replacement_policy"
+  "fig05_replacement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_replacement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

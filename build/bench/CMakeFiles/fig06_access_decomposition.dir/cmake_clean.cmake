@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_access_decomposition.dir/fig06_access_decomposition.cpp.o"
+  "CMakeFiles/fig06_access_decomposition.dir/fig06_access_decomposition.cpp.o.d"
+  "fig06_access_decomposition"
+  "fig06_access_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_access_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_onchip_offchip.dir/fig07_onchip_offchip.cpp.o"
+  "CMakeFiles/fig07_onchip_offchip.dir/fig07_onchip_offchip.cpp.o.d"
+  "fig07_onchip_offchip"
+  "fig07_onchip_offchip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_onchip_offchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_transactional.dir/fig08_transactional.cpp.o"
+  "CMakeFiles/fig08_transactional.dir/fig08_transactional.cpp.o.d"
+  "fig08_transactional"
+  "fig08_transactional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_transactional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multiprogrammed.dir/fig09_multiprogrammed.cpp.o"
+  "CMakeFiles/fig09_multiprogrammed.dir/fig09_multiprogrammed.cpp.o.d"
+  "fig09_multiprogrammed"
+  "fig09_multiprogrammed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multiprogrammed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_npb.dir/fig10_npb.cpp.o"
+  "CMakeFiles/fig10_npb.dir/fig10_npb.cpp.o.d"
+  "fig10_npb"
+  "fig10_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

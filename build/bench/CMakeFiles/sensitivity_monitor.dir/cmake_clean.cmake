@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_monitor.dir/sensitivity_monitor.cpp.o"
+  "CMakeFiles/sensitivity_monitor.dir/sensitivity_monitor.cpp.o.d"
+  "sensitivity_monitor"
+  "sensitivity_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_variance.dir/stability_variance.cpp.o"
+  "CMakeFiles/stability_variance.dir/stability_variance.cpp.o.d"
+  "stability_variance"
+  "stability_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

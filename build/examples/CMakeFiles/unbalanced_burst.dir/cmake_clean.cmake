@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbalanced_burst.dir/unbalanced_burst.cpp.o"
+  "CMakeFiles/unbalanced_burst.dir/unbalanced_burst.cpp.o.d"
+  "unbalanced_burst"
+  "unbalanced_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbalanced_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

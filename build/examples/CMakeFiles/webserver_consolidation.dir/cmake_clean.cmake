@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_consolidation.dir/webserver_consolidation.cpp.o"
+  "CMakeFiles/webserver_consolidation.dir/webserver_consolidation.cpp.o.d"
+  "webserver_consolidation"
+  "webserver_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espnuca_coherence.dir/l2_org.cpp.o"
+  "CMakeFiles/espnuca_coherence.dir/l2_org.cpp.o.d"
+  "CMakeFiles/espnuca_coherence.dir/protocol.cpp.o"
+  "CMakeFiles/espnuca_coherence.dir/protocol.cpp.o.d"
+  "libespnuca_coherence.a"
+  "libespnuca_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espnuca_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libespnuca_coherence.a"
+)

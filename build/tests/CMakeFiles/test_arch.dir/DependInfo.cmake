@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/test_arch_factory.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_arch_factory.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_arch_factory.cpp.o.d"
+  "/root/repo/tests/arch/test_asr_cc.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_asr_cc.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_asr_cc.cpp.o.d"
+  "/root/repo/tests/arch/test_dnuca.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_dnuca.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_dnuca.cpp.o.d"
+  "/root/repo/tests/arch/test_esp_nuca.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_esp_nuca.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_esp_nuca.cpp.o.d"
+  "/root/repo/tests/arch/test_private_tiled.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_private_tiled.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_private_tiled.cpp.o.d"
+  "/root/repo/tests/arch/test_snuca.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_snuca.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_snuca.cpp.o.d"
+  "/root/repo/tests/arch/test_sp_nuca.cpp" "tests/CMakeFiles/test_arch.dir/arch/test_sp_nuca.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_sp_nuca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coherence/CMakeFiles/espnuca_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

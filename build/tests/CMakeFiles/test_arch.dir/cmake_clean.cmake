@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_arch_factory.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_arch_factory.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_asr_cc.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_asr_cc.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_dnuca.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_dnuca.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_esp_nuca.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_esp_nuca.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_private_tiled.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_private_tiled.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_snuca.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_snuca.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_sp_nuca.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_sp_nuca.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

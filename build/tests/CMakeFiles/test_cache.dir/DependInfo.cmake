@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_address_map.cpp" "tests/CMakeFiles/test_cache.dir/cache/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_address_map.cpp.o.d"
+  "/root/repo/tests/cache/test_cache_bank.cpp" "tests/CMakeFiles/test_cache.dir/cache/test_cache_bank.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_cache_bank.cpp.o.d"
+  "/root/repo/tests/cache/test_cache_set.cpp" "tests/CMakeFiles/test_cache.dir/cache/test_cache_set.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_cache_set.cpp.o.d"
+  "/root/repo/tests/cache/test_hit_rate_monitor.cpp" "tests/CMakeFiles/test_cache.dir/cache/test_hit_rate_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_hit_rate_monitor.cpp.o.d"
+  "/root/repo/tests/cache/test_protected_lru_dynamics.cpp" "tests/CMakeFiles/test_cache.dir/cache/test_protected_lru_dynamics.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_protected_lru_dynamics.cpp.o.d"
+  "/root/repo/tests/cache/test_replacement.cpp" "tests/CMakeFiles/test_cache.dir/cache/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coherence/CMakeFiles/espnuca_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_address_map.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_address_map.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_cache_bank.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_cache_bank.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_cache_set.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_cache_set.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hit_rate_monitor.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_hit_rate_monitor.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_protected_lru_dynamics.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_protected_lru_dynamics.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_replacement.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_replacement.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coherence/test_directory.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o.d"
+  "/root/repo/tests/coherence/test_fig2_flows.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_fig2_flows.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_fig2_flows.cpp.o.d"
+  "/root/repo/tests/coherence/test_l1_cache.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_l1_cache.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_l1_cache.cpp.o.d"
+  "/root/repo/tests/coherence/test_protocol.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_protocol.cpp.o.d"
+  "/root/repo/tests/coherence/test_protocol_stress.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_protocol_stress.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_protocol_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coherence/CMakeFiles/espnuca_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_fig2_flows.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_fig2_flows.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_l1_cache.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_l1_cache.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_protocol.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_protocol.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_protocol_stress.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_protocol_stress.cpp.o.d"
+  "test_coherence"
+  "test_coherence.pdb"
+  "test_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_link.cpp" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o.d"
+  "/root/repo/tests/net/test_mesh.cpp" "tests/CMakeFiles/test_net.dir/net/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_mesh.cpp.o.d"
+  "/root/repo/tests/net/test_mesh_contention.cpp" "tests/CMakeFiles/test_net.dir/net/test_mesh_contention.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_mesh_contention.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coherence/CMakeFiles/espnuca_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

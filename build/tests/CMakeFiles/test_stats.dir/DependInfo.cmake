@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_ema.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_ema.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_ema.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_running_stats.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_running_stats.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_running_stats.cpp.o.d"
+  "/root/repo/tests/stats/test_stats_registry.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_stats_registry.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_stats_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coherence/CMakeFiles/espnuca_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_ema.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ema.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_running_stats.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_running_stats.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_stats_registry.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_stats_registry.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_presets.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_presets.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace_file.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace_file.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace_gen.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace_gen.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_workload_statistics.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_workload_statistics.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

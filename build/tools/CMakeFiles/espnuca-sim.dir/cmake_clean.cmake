@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espnuca-sim.dir/espnuca_sim.cpp.o"
+  "CMakeFiles/espnuca-sim.dir/espnuca_sim.cpp.o.d"
+  "espnuca-sim"
+  "espnuca-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espnuca-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/espnuca-sim" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list_archs "/root/repo/build/tools/espnuca-sim" "--list-archs")
+set_tests_properties(cli_list_archs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list_workloads "/root/repo/build/tools/espnuca-sim" "--list-workloads")
+set_tests_properties(cli_list_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tiny_run "/root/repo/build/tools/espnuca-sim" "--arch" "esp-nuca" "--workload" "gzip-4" "--ops" "2000" "--warmup" "0" "--json")
+set_tests_properties(cli_tiny_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_csv_run "/root/repo/build/tools/espnuca-sim" "--arch" "shared" "--workload" "BT" "--ops" "2000" "--warmup" "0" "--csv")
+set_tests_properties(cli_csv_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_custom_geometry "/root/repo/build/tools/espnuca-sim" "--arch" "sp-nuca" "--workload" "jbb" "--ops" "2000" "--warmup" "0" "--l2-mb" "4" "--mem-latency" "200")
+set_tests_properties(cli_custom_geometry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats_dump "/root/repo/build/tools/espnuca-sim" "--arch" "esp-nuca" "--workload" "gzip-4" "--ops" "2000" "--warmup" "0" "--stats")
+set_tests_properties(cli_stats_dump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_record_replay "/usr/bin/cmake" "-DSIM=/root/repo/build/tools/espnuca-sim" "-DWORKDIR=/root/repo/build/trace_rt" "-P" "/root/repo/tools/record_replay_test.cmake")
+set_tests_properties(cli_record_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")

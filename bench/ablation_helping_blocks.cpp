@@ -4,11 +4,18 @@
  * only, replicas only, both, both without the monitor's protection
  * (flat LRU), plus the replica-pacing knob — against SP-NUCA and Shared
  * on one workload from each family.
+ *
+ * The variants tweak EspNuca knobs that no registered architecture name
+ * exposes, so they construct System directly; their seeded runs still
+ * fan out over the shared worker pool, folded in seed order like every
+ * other data point.
  */
 
 #include <cstdio>
+#include <future>
+#include <map>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
@@ -22,30 +29,42 @@ struct Variant
     double rate;
 };
 
+RunResult
+runVariantOnce(const ExperimentConfig &cfg, const std::string &w,
+               const Variant &v, std::uint64_t seed)
+{
+    const Workload wl = makeWorkload(w, cfg.system, cfg.opsPerCore, seed);
+    System sys(cfg.system, "esp-nuca", wl, seed, cfg.warmupFraction);
+    auto &esp = dynamic_cast<EspNuca &>(sys.org());
+    esp.setReadHitReplication(v.readHit);
+    esp.setEvictReplication(v.evict);
+    esp.setReplicaRate(v.rate);
+    return sys.run();
+}
+
 double
 runVariant(const ExperimentConfig &cfg, const std::string &w,
-           const Variant &v)
+           const Variant &v, ThreadPool &pool)
 {
-    RunningStats s;
+    std::vector<std::future<RunResult>> futs;
+    futs.reserve(cfg.runs);
     for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-        const std::uint64_t seed = cfg.baseSeed + r * 7919;
-        const Workload wl =
-            makeWorkload(w, cfg.system, cfg.opsPerCore, seed);
-        System sys(cfg.system, "esp-nuca", wl, seed,
-                   cfg.warmupFraction);
-        auto &esp = dynamic_cast<EspNuca &>(sys.org());
-        esp.setReadHitReplication(v.readHit);
-        esp.setEvictReplication(v.evict);
-        esp.setReplicaRate(v.rate);
-        s.record(sys.run().throughput);
+        const std::uint64_t seed = cfg.seedOf(r);
+        futs.push_back(pool.submit(
+            [&cfg, &w, &v, seed]() {
+                return runVariantOnce(cfg, w, v, seed);
+            }));
     }
+    RunningStats s;
+    for (auto &f : futs)
+        s.record(f.get().throughput); // seed order
     return s.mean();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(60'000, 2);
     printHeader("Ablation: ESP-NUCA helping-block mechanisms "
@@ -62,6 +81,16 @@ main()
         {"unpaced replicas", true, true, 1.0},
     };
 
+    ThreadPool pool(cfg.resolveJobs());
+
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads) {
+        m.add("sp-nuca", w);
+        m.add("shared", w);
+        m.add("esp-nuca-flat", w);
+    }
+    m.run(&pool);
+
     std::printf("%-18s", "variant");
     for (const auto &w : workloads)
         std::printf(" %10s", w.c_str());
@@ -69,26 +98,25 @@ main()
 
     std::map<std::string, double> sp;
     for (const auto &w : workloads)
-        sp[w] = runPoint(cfg, "sp-nuca", w).throughput.mean();
+        sp[w] = m.at("sp-nuca", w).throughput.mean();
 
     std::printf("%-18s", "sp-nuca");
-    for (const auto &w : workloads)
+    for (std::size_t i = 0; i < workloads.size(); ++i)
         std::printf(" %10.3f", 1.0);
     std::printf("\n%-18s", "shared");
     for (const auto &w : workloads)
         std::printf(" %10.3f",
-                    runPoint(cfg, "shared", w).throughput.mean() / sp[w]);
+                    m.at("shared", w).throughput.mean() / sp[w]);
     std::printf("\n%-18s", "esp-nuca-flat");
     for (const auto &w : workloads)
         std::printf(" %10.3f",
-                    runPoint(cfg, "esp-nuca-flat", w).throughput.mean() /
-                        sp[w]);
+                    m.at("esp-nuca-flat", w).throughput.mean() / sp[w]);
     std::printf("\n");
 
     for (const Variant &v : variants) {
         std::printf("%-18s", v.label);
         for (const auto &w : workloads)
-            std::printf(" %10.3f", runVariant(cfg, w, v) / sp[w]);
+            std::printf(" %10.3f", runVariant(cfg, w, v, pool) / sp[w]);
         std::printf("\n");
     }
 
@@ -97,5 +125,10 @@ main()
                 "reuse (transactional); unpaced replication churns\nand "
                 "shows why admission control (protected LRU + pacing) "
                 "matters.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "ablation_helping_blocks", cfg,
+                           m.points());
     return 0;
 }

@@ -6,12 +6,12 @@
 
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
     printHeader("Figure 5: ESP-NUCA flat-LRU vs protected-LRU, "
@@ -22,14 +22,21 @@ main()
     for (const auto &w : transactionalWorkloads())
         workloads.push_back(w);
 
+    const std::vector<std::string> archs = {"sp-nuca", "esp-nuca-flat",
+                                            "esp-nuca"};
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads)
+        for (const auto &a : archs)
+            m.add(a, w);
+    m.run();
+
     std::printf("%-8s %10s %12s\n", "wload", "flat-lru", "protected");
     std::vector<double> flat_all, prot_all;
     for (const auto &w : workloads) {
-        const double sp = runPoint(cfg, "sp-nuca", w).throughput.mean();
+        const double sp = m.at("sp-nuca", w).throughput.mean();
         const double flat =
-            runPoint(cfg, "esp-nuca-flat", w).throughput.mean() / sp;
-        const double prot =
-            runPoint(cfg, "esp-nuca", w).throughput.mean() / sp;
+            m.at("esp-nuca-flat", w).throughput.mean() / sp;
+        const double prot = m.at("esp-nuca", w).throughput.mean() / sp;
         std::printf("%-8s %10.3f %12.3f\n", w.c_str(), flat, prot);
         flat_all.push_back(flat);
         prot_all.push_back(prot);
@@ -39,5 +46,10 @@ main()
     std::printf("\npaper shape: both beat SP-NUCA; protected LRU is "
                 "more stable (notably on\ntransactional workloads) and "
                 "at least matches flat LRU overall.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "fig05_replacement_policy", cfg,
+                           m.points());
     return 0;
 }

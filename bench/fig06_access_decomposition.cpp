@@ -8,12 +8,12 @@
 
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
     printHeader("Figure 6: average access time decomposition (cycles "
@@ -24,13 +24,19 @@ main()
         "shared", "private", "d-nuca", "asr",
         "cc-0",   "cc-30",   "cc-70",  "cc-100", "esp-nuca"};
 
+    ExperimentMatrix m(cfg);
+    for (const auto &w : transactionalWorkloads())
+        for (const auto &a : archs)
+            m.add(a, w);
+    m.run();
+
     for (const auto &w : transactionalWorkloads()) {
         std::printf("\n--- %s ---\n", w.c_str());
         std::printf("%-10s %8s %8s %8s %8s %8s %8s %8s\n", "arch",
                     "localL1", "remL1", "locL2", "shrdL2", "remL2",
                     "offchip", "TOTAL");
         for (const auto &a : archs) {
-            const DataPoint p = runPoint(cfg, a, w);
+            const DataPoint &p = m.at(a, w);
             auto lvl = [&](ServiceLevel l) {
                 return p.levelContribution[static_cast<std::size_t>(l)]
                     .mean();
@@ -48,5 +54,10 @@ main()
                 "L2 contribution;\nprivate/ASR show large off-chip; "
                 "ESP-NUCA combines D-NUCA-like on-chip\nlocality with "
                 "shared-like off-chip contribution.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "fig06_access_decomposition", cfg,
+                           m.points());
     return 0;
 }

@@ -7,12 +7,12 @@
 
 #include <cstdio>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
     printHeader("Figure 7: normalized off-chip accesses and on-chip "
@@ -22,21 +22,23 @@ main()
     const std::vector<std::string> archs = {
         "shared", "private", "d-nuca", "asr",
         "cc-0",   "cc-30",   "cc-70",  "cc-100", "esp-nuca"};
+    const auto workloads = transactionalWorkloads();
+
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads)
+        for (const auto &a : archs)
+            m.add(a, w);
+    m.run();
 
     std::printf("%-10s %12s %12s\n", "arch", "off-chip", "on-chip-lat");
-    std::vector<double> base_off, base_lat;
-    for (const auto &w : transactionalWorkloads()) {
-        const DataPoint p = runPoint(cfg, "shared", w);
-        base_off.push_back(p.offChip.mean());
-        base_lat.push_back(p.onChipLatency.mean());
-    }
     for (const auto &a : archs) {
         std::vector<double> off_n, lat_n;
-        const auto workloads = transactionalWorkloads();
-        for (std::size_t i = 0; i < workloads.size(); ++i) {
-            const DataPoint p = runPoint(cfg, a, workloads[i]);
-            off_n.push_back(p.offChip.mean() / base_off[i]);
-            lat_n.push_back(p.onChipLatency.mean() / base_lat[i]);
+        for (const auto &w : workloads) {
+            const DataPoint &base = m.at("shared", w);
+            const DataPoint &p = m.at(a, w);
+            off_n.push_back(p.offChip.mean() / base.offChip.mean());
+            lat_n.push_back(p.onChipLatency.mean() /
+                            base.onChipLatency.mean());
         }
         std::printf("%-10s %12.3f %12.3f\n", a.c_str(), geomean(off_n),
                     geomean(lat_n));
@@ -45,5 +47,10 @@ main()
                 "higher off-chip traffic\nfor lower on-chip latency; "
                 "ESP-NUCA keeps off-chip near shared while\ncutting "
                 "on-chip latency.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "fig07_onchip_offchip", cfg,
+                           m.points());
     return 0;
 }

@@ -6,15 +6,16 @@
  * cooperation probabilities.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
     printHeader("Figure 8: Transactional workloads, performance "
@@ -26,24 +27,30 @@ main()
     const std::vector<std::string> ccs = ccVariants();
     const std::vector<std::string> workloads = transactionalWorkloads();
 
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads) {
+        for (const auto &a : archs)
+            m.add(a, w);
+        for (const auto &a : ccs)
+            m.add(a, w);
+    }
+    m.run();
+
     std::printf("%-8s %8s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",
                 "private", "d-nuca", "asr", "cc-avg", "cc-best",
                 "esp-nuca");
 
     std::map<std::string, std::vector<double>> norm; // arch -> values
     for (const auto &w : workloads) {
-        const DataPoint base = runPoint(cfg, "shared", w);
-        const double shared_perf = base.throughput.mean();
+        const double shared_perf = m.at("shared", w).throughput.mean();
         std::map<std::string, double> row;
         for (const auto &a : archs)
             row[a] = (a == "shared")
                          ? 1.0
-                         : runPoint(cfg, a, w).throughput.mean() /
-                               shared_perf;
+                         : m.at(a, w).throughput.mean() / shared_perf;
         double cc_sum = 0.0, cc_best = 0.0, cc_worst = 1e30;
         for (const auto &a : ccs) {
-            const double v =
-                runPoint(cfg, a, w).throughput.mean() / shared_perf;
+            const double v = m.at(a, w).throughput.mean() / shared_perf;
             cc_sum += v;
             cc_best = std::max(cc_best, v);
             cc_worst = std::min(cc_worst, v);
@@ -66,5 +73,9 @@ main()
     std::printf("\npaper shape: ESP-NUCA best overall (~+15%% vs shared),"
                 " D-NUCA second;\nCC highly variable per application; "
                 "private/ASR behind shared derivatives.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "fig08_transactional", cfg, m.points());
     return 0;
 }

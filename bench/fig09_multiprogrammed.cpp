@@ -9,12 +9,12 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
     printHeader("Figure 9: Multiprogrammed workloads (half rate + "
@@ -27,22 +27,29 @@ main()
     for (const auto &w : hybridWorkloads())
         workloads.push_back(w);
 
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads) {
+        for (const auto &a : archs)
+            m.add(a, w);
+        for (const auto &a : ccVariants())
+            m.add(a, w);
+    }
+    m.run();
+
     std::printf("%-10s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",
                 "private", "d-nuca", "asr", "cc-avg", "esp-nuca");
 
     std::map<std::string, std::vector<double>> norm;
     for (const auto &w : workloads) {
-        const double shared_perf =
-            runPoint(cfg, "shared", w).avgIpc.mean();
+        const double shared_perf = m.at("shared", w).avgIpc.mean();
         std::map<std::string, double> row;
         for (const auto &a : archs)
             row[a] = (a == "shared")
                          ? 1.0
-                         : runPoint(cfg, a, w).avgIpc.mean() /
-                               shared_perf;
+                         : m.at(a, w).avgIpc.mean() / shared_perf;
         double cc_sum = 0.0;
         for (const auto &a : ccVariants())
-            cc_sum += runPoint(cfg, a, w).avgIpc.mean() / shared_perf;
+            cc_sum += m.at(a, w).avgIpc.mean() / shared_perf;
         row["cc-avg"] = cc_sum / 4.0;
         std::printf("%-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
                     w.c_str(), row["shared"], row["private"],
@@ -59,5 +66,10 @@ main()
                 " art/mcf (half cache\nunavailable); private wins small"
                 " footprints (gcc, gzip); shared worst on hybrids\n"
                 "(interference); ESP-NUCA consistently near the best.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "fig09_multiprogrammed", cfg,
+                           m.points());
     return 0;
 }

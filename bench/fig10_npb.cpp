@@ -7,12 +7,12 @@
 #include <cstdio>
 #include <map>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(80'000, 2);
     printHeader("Figure 10: NAS Parallel Benchmarks, performance "
@@ -23,23 +23,29 @@ main()
                                             "asr", "esp-nuca"};
     const std::vector<std::string> workloads = npbWorkloads();
 
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads) {
+        for (const auto &a : archs)
+            m.add(a, w);
+        for (const auto &a : ccVariants())
+            m.add(a, w);
+    }
+    m.run();
+
     std::printf("%-6s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",
                 "private", "d-nuca", "asr", "cc-avg", "esp-nuca");
 
     std::map<std::string, std::vector<double>> norm;
     for (const auto &w : workloads) {
-        const double shared_perf =
-            runPoint(cfg, "shared", w).throughput.mean();
+        const double shared_perf = m.at("shared", w).throughput.mean();
         std::map<std::string, double> row;
         for (const auto &a : archs)
             row[a] = (a == "shared")
                          ? 1.0
-                         : runPoint(cfg, a, w).throughput.mean() /
-                               shared_perf;
+                         : m.at(a, w).throughput.mean() / shared_perf;
         double cc_sum = 0.0;
         for (const auto &a : ccVariants())
-            cc_sum +=
-                runPoint(cfg, a, w).throughput.mean() / shared_perf;
+            cc_sum += m.at(a, w).throughput.mean() / shared_perf;
         row["cc-avg"] = cc_sum / 4.0;
         std::printf("%-6s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
                     w.c_str(), row["shared"], row["private"],
@@ -56,5 +62,9 @@ main()
                 "(limited sharing,\nlatency-sensitive); ESP-NUCA is the "
                 "only shared derivative keeping up;\nshared and D-NUCA "
                 "trail.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "fig10_npb", cfg, m.points());
     return 0;
 }

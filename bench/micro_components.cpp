@@ -12,6 +12,7 @@
 #include "cache/cache_bank.hpp"
 #include "cache/hit_rate_monitor.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "harness/system.hpp"
 #include "net/mesh.hpp"
 #include "sim/event_queue.hpp"
@@ -56,6 +57,48 @@ BM_CacheSetFind(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheSetFind);
+
+// Same lookup via the ClassMask fast path the simulator's search flow
+// uses — no callable involved at all.
+void
+BM_CacheSetFindMask(benchmark::State &state)
+{
+    CacheSet s(16);
+    for (int i = 0; i < 16; ++i) {
+        s.way(i).addr = 0x1000 + i * 0x40;
+        s.way(i).valid = true;
+        s.way(i).cls = i % 2 ? BlockClass::Private : BlockClass::Shared;
+    }
+    Addr probe = 0x1000;
+    for (auto _ : state) {
+        const int w = s.find(probe, kMatchPrivate);
+        benchmark::DoNotOptimize(w);
+        probe += 0x40;
+        if (probe >= 0x1000 + 16 * 0x40)
+            probe = 0x1000;
+    }
+}
+BENCHMARK(BM_CacheSetFindMask);
+
+// LRU maintenance: a touch is one age-stamp store (was a find/erase/
+// insert shuffle of a recency vector).
+void
+BM_CacheSetTouch(benchmark::State &state)
+{
+    CacheSet s(16);
+    for (int i = 0; i < 16; ++i) {
+        s.way(i).addr = 0x1000 + i * 0x40;
+        s.way(i).valid = true;
+        s.way(i).cls = BlockClass::Private;
+    }
+    int w = 0;
+    for (auto _ : state) {
+        s.touch(w);
+        w = (w + 5) & 15;
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_CacheSetTouch);
 
 void
 BM_ProtectedLruChoose(benchmark::State &state)
@@ -156,6 +199,26 @@ BM_FullSystemSmall(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullSystemSmall)->Unit(benchmark::kMillisecond);
+
+// Round-trip cost of the experiment harness's fan-out primitive:
+// submit a batch of trivial tasks and harvest the futures in order.
+void
+BM_ThreadPoolRoundTrip(benchmark::State &state)
+{
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        std::vector<std::future<int>> futs;
+        futs.reserve(64);
+        for (int i = 0; i < 64; ++i)
+            futs.push_back(pool.submit([i]() { return i; }));
+        int sum = 0;
+        for (auto &f : futs)
+            sum += f.get();
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_ThreadPoolRoundTrip)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -7,23 +7,14 @@
  */
 
 #include <cstdio>
+#include <functional>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
-namespace {
-
-double
-espPerf(ExperimentConfig cfg, const std::string &w)
-{
-    return runPoint(cfg, "esp-nuca", w).throughput.mean();
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentConfig cfg = ExperimentConfig::fromEnv(60'000, 2);
     printHeader("Sensitivity: ESP-NUCA monitor constants (paper 5.2; "
@@ -32,56 +23,76 @@ main()
 
     const std::vector<std::string> workloads = {"apache", "CG", "mcf-4"};
 
-    // Baseline with the paper constants.
-    std::map<std::string, double> base;
-    for (const auto &w : workloads)
-        base[w] = espPerf(cfg, w);
+    // Every sweep row is the same (arch, workload) pair under a mutated
+    // configuration, so the points carry explicit keys.
+    struct Row
+    {
+        const char *label;
+        std::function<void(SystemConfig &)> mutate;
+    };
+    const std::vector<Row> rows = {
+        {"a=2 (alpha=1/4)", [](SystemConfig &s) { s.emaShift = 2; }},
+        {"a=3 (alpha=1/8)", [](SystemConfig &s) { s.emaShift = 3; }},
+        {"b=6", [](SystemConfig &s) { s.emaBits = 6; }},
+        {"b=10", [](SystemConfig &s) { s.emaBits = 10; }},
+        {"d=1 (50% tol.)",
+         [](SystemConfig &s) { s.degradationShift = 1; }},
+        {"d=2 (75% tol.)",
+         [](SystemConfig &s) { s.degradationShift = 2; }},
+        {"d=5 (97% tol.)",
+         [](SystemConfig &s) { s.degradationShift = 5; }},
+        {"period=16", [](SystemConfig &s) { s.monitorPeriod = 16; }},
+        {"period=256", [](SystemConfig &s) { s.monitorPeriod = 256; }},
+        {"4 conv samples",
+         [](SystemConfig &s) { s.conventionalSamples = 4; }},
+        {"2 ref, 2 expl",
+         [](SystemConfig &s) {
+             s.referenceSamples = 2;
+             s.explorerSamples = 2;
+         }},
+    };
+
+    auto keyOf = [](const std::string &label, const std::string &w) {
+        return label + '\x1f' + w;
+    };
+
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads) {
+        m.add(cfg, "esp-nuca", w, keyOf("paper", w));
+        for (const Row &row : rows) {
+            ExperimentConfig c = cfg;
+            row.mutate(c.system);
+            m.add(c, "esp-nuca", w, keyOf(row.label, w));
+        }
+    }
+    m.run();
 
     std::printf("%-22s", "config");
     for (const auto &w : workloads)
         std::printf(" %10s", w.c_str());
     std::printf("\n%-22s", "paper (b=8,a=1,d=3)");
-    for (const auto &w : workloads)
+    for (std::size_t i = 0; i < workloads.size(); ++i)
         std::printf(" %10.3f", 1.0);
     std::printf("\n");
 
-    auto sweep = [&](const char *label, auto mutate) {
-        ExperimentConfig c = cfg;
-        mutate(c.system);
-        std::printf("%-22s", label);
+    for (const Row &row : rows) {
+        std::printf("%-22s", row.label);
         for (const auto &w : workloads) {
-            const double v = runPoint(c, "esp-nuca", w)
-                                 .throughput.mean() / base[w];
-            std::printf(" %10.3f", v);
+            const double base =
+                m.at(keyOf("paper", w)).throughput.mean();
+            std::printf(" %10.3f",
+                        m.at(keyOf(row.label, w)).throughput.mean() /
+                            base);
         }
         std::printf("\n");
-    };
-
-    sweep("a=2 (alpha=1/4)",
-          [](SystemConfig &s) { s.emaShift = 2; });
-    sweep("a=3 (alpha=1/8)",
-          [](SystemConfig &s) { s.emaShift = 3; });
-    sweep("b=6", [](SystemConfig &s) { s.emaBits = 6; });
-    sweep("b=10", [](SystemConfig &s) { s.emaBits = 10; });
-    sweep("d=1 (50% tol.)",
-          [](SystemConfig &s) { s.degradationShift = 1; });
-    sweep("d=2 (75% tol.)",
-          [](SystemConfig &s) { s.degradationShift = 2; });
-    sweep("d=5 (97% tol.)",
-          [](SystemConfig &s) { s.degradationShift = 5; });
-    sweep("period=16",
-          [](SystemConfig &s) { s.monitorPeriod = 16; });
-    sweep("period=256",
-          [](SystemConfig &s) { s.monitorPeriod = 256; });
-    sweep("4 conv samples",
-          [](SystemConfig &s) { s.conventionalSamples = 4; });
-    sweep("2 ref, 2 expl", [](SystemConfig &s) {
-        s.referenceSamples = 2;
-        s.explorerSamples = 2;
-    });
+    }
 
     std::printf("\nexpectation: performance is robust (within a few %%)"
                 " around the paper's\nconstants, justifying the "
                 "hardware-cheap configuration.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "sensitivity_monitor", cfg, m.points());
     return 0;
 }

@@ -6,14 +6,16 @@
  * respectively, across the whole suite).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 
-#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace espnuca;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ExperimentConfig cfg = ExperimentConfig::fromEnv(60'000, 1);
     printHeader("Stability: variance of shared-normalized performance "
@@ -28,13 +30,20 @@ main()
     // Normalized performance per workload, per arch.
     std::printf("computing %zu workloads x %zu architectures...\n",
                 workloads.size(), archs.size() + 1);
+    ExperimentMatrix m(cfg);
+    for (const auto &w : workloads) {
+        m.add("shared", w);
+        for (const auto &a : archs)
+            m.add(a, w);
+    }
+    m.run();
+
     std::map<std::string, std::vector<double>> norm;
     for (const auto &w : workloads) {
-        const double base = runPoint(cfg, "shared", w).throughput.mean();
+        const double base = m.at("shared", w).throughput.mean();
         norm["shared"].push_back(1.0);
         for (const auto &a : archs)
-            norm[a].push_back(runPoint(cfg, a, w).throughput.mean() /
-                              base);
+            norm[a].push_back(m.at(a, w).throughput.mean() / base);
     }
 
     // Per-workload best over every design (including shared itself):
@@ -71,5 +80,9 @@ main()
     std::printf("paper reports variance 87%% below D-NUCA, 37%% below "
                 "ASR, 43%% below CC;\nthe regret columns express the "
                 "same 'never far from the best' stability.\n");
+
+    if (const std::string path = jsonPathFromArgs(argc, argv);
+        !path.empty())
+        writeBenchJsonFile(path, "stability_variance", cfg, m.points());
     return 0;
 }

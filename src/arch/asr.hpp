@@ -44,7 +44,7 @@ class Asr : public L2Org
         const BankId local = map_.privateBank(tx.core, tx.addr);
         const std::uint32_t set = map_.privateSet(tx.addr);
         proto().probe(
-            tx, local, set, [](const BlockMeta &) { return true; },
+            tx, local, set, kMatchAny,
             tx.reqNode, tx.searchStart,
             [this, &tx, local, set](int way, Cycle t) {
                 if (way != kNoWay) {

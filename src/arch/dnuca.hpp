@@ -91,7 +91,7 @@ class Dnuca : public L2Org
         }
         const std::uint32_t set = setIndex(tx.addr);
         proto().probe(
-            tx, target, set, [](const BlockMeta &) { return true; },
+            tx, target, set, kMatchAny,
             tx.reqNode, tx.searchStart,
             [this, &tx, target, set](int way, Cycle t) {
                 if (way != kNoWay)

@@ -79,23 +79,17 @@ class EspNuca : public SpNuca
 
   protected:
     /** The local partition also matches replicas. */
-    WayPred
+    ClassMask
     localMatch() const override
     {
-        return [](const BlockMeta &m) {
-            return m.cls == BlockClass::Private ||
-                   m.cls == BlockClass::Replica;
-        };
+        return kMatchPrivate | kMatchReplica;
     }
 
     /** The home bank also matches victims. */
-    WayPred
+    ClassMask
     homeMatch() const override
     {
-        return [](const BlockMeta &m) {
-            return m.cls == BlockClass::Shared ||
-                   m.cls == BlockClass::Victim;
-        };
+        return kMatchShared | kMatchVictim;
     }
 
     /** Displaced first-class private blocks become victims at home. */

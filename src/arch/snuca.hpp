@@ -35,7 +35,7 @@ class Snuca : public L2Org
         const BankId home = map_.sharedBank(tx.addr);
         const std::uint32_t set = map_.sharedSet(tx.addr);
         proto().probe(
-            tx, home, set, [](const BlockMeta &) { return true; },
+            tx, home, set, kMatchAny,
             tx.reqNode, tx.searchStart,
             [this, &tx, home, set](int way, Cycle t) {
                 if (way != kNoWay)

@@ -147,32 +147,17 @@ class SpNuca : public L2Org
     }
 
   protected:
-    /** Matching predicate for the requester's own partition. */
-    virtual WayPred
-    localMatch() const
-    {
-        return [](const BlockMeta &m) {
-            return m.cls == BlockClass::Private;
-        };
-    }
+    /** Tag-match class filter for the requester's own partition. */
+    virtual ClassMask localMatch() const { return kMatchPrivate; }
 
-    /** Matching predicate at the shared home bank. */
-    virtual WayPred
-    homeMatch() const
-    {
-        return [](const BlockMeta &m) {
-            return m.cls == BlockClass::Shared;
-        };
-    }
+    /** Tag-match class filter at the shared home bank. */
+    virtual ClassMask homeMatch() const { return kMatchShared; }
 
-    /** Matching predicate when probing remote private banks. */
-    virtual WayPred
+    /** Tag-match class filter when probing remote private banks. */
+    virtual ClassMask
     remoteMatch() const
     {
-        return [](const BlockMeta &m) {
-            return m.cls == BlockClass::Private ||
-                   m.cls == BlockClass::Replica;
-        };
+        return kMatchPrivate | kMatchReplica;
     }
 
     /** Hook: ESP-NUCA creates victims from displaced private blocks. */

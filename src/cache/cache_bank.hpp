@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cache/cache_set.hpp"
@@ -91,11 +92,19 @@ class CacheBank
 
     // -- Content -------------------------------------------------------
 
-    /** Find `addr` in set `s` under `pred` (the class/tag match). */
+    /** Find `addr` in set `s` under the class/tag match `mask`. */
     int
-    find(std::uint32_t s, Addr addr, const WayPred &pred) const
+    find(std::uint32_t s, Addr addr, ClassMask mask) const
     {
-        return sets_.at(s).find(addr, pred);
+        return sets_.at(s).find(addr, mask);
+    }
+
+    /** Find `addr` in set `s` under an arbitrary predicate. */
+    template <typename Pred>
+    int
+    find(std::uint32_t s, Addr addr, Pred &&pred) const
+    {
+        return sets_.at(s).find(addr, std::forward<Pred>(pred));
     }
 
     /** Find `addr` in set `s` under any class. */
@@ -218,7 +227,7 @@ class CacheBank
     {
         std::uint64_t n = 0;
         for (const auto &s : sets_)
-            n += s.countIf([c](const BlockMeta &m) { return m.cls == c; });
+            n += s.countIf(classBit(c));
         return n;
     }
 

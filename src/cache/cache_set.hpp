@@ -1,16 +1,20 @@
 /**
  * @file
  * A w-way set with true-LRU ordering. Policies query the set through
- * class-predicates, which is how the paper's "private bit added to the
- * tag comparison" and "LRU among the helping blocks" rules are expressed.
+ * class masks (the common case — how the paper's "private bit added to
+ * the tag comparison" and "LRU among the helping blocks" rules are
+ * expressed) or through arbitrary predicates via the template overloads.
+ *
+ * The per-access hot path is allocation- and indirection-free: class
+ * matching is a bitmask test, and recency is kept as monotonically
+ * increasing age stamps (touch/demote are O(1) stores) instead of a
+ * find/erase/insert shuffle of a recency vector.
  */
 
 #ifndef ESPNUCA_CACHE_CACHE_SET_HPP_
 #define ESPNUCA_CACHE_CACHE_SET_HPP_
 
-#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "cache/block.hpp"
@@ -19,25 +23,29 @@
 
 namespace espnuca {
 
-/** Predicate over way metadata used for matching and victim filtering. */
-using WayPred = std::function<bool(const BlockMeta &)>;
-
 /** Way index sentinel. */
 inline constexpr int kNoWay = -1;
 
 /**
- * Set of `w` ways plus an LRU recency stack (front = MRU). All search and
- * replacement helpers are O(w), which is exact-hardware-equivalent for a
- * 16-way bank and plenty fast in simulation.
+ * Set of `w` ways plus per-way LRU age stamps (larger = more recent).
+ * All search and replacement helpers are O(w), which is
+ * exact-hardware-equivalent for a 16-way bank and plenty fast in
+ * simulation; recency updates are O(1).
  */
 class CacheSet
 {
   public:
-    explicit CacheSet(std::uint32_t ways) : ways_(ways), lru_(ways)
+    explicit CacheSet(std::uint32_t ways) : ways_(ways), stamp_(ways)
     {
         ESP_ASSERT(ways > 0, "set needs at least one way");
+        // Initial recency order: way 0 is MRU, way w-1 is LRU — the
+        // same total order the recency-stack representation started
+        // with. Stamps stay unique forever: every touch takes a fresh
+        // value above every live stamp, every demote one below.
         for (std::uint32_t i = 0; i < ways; ++i)
-            lru_[i] = static_cast<std::uint8_t>(i);
+            stamp_[i] = static_cast<std::int64_t>(ways - i);
+        hi_ = static_cast<std::int64_t>(ways);
+        lo_ = 1;
     }
 
     std::uint32_t numWays() const
@@ -52,9 +60,22 @@ class CacheSet
         return ways_.at(static_cast<std::size_t>(i));
     }
 
-    /** Find a valid way holding `addr` and satisfying `pred`. */
+    /** Find a valid way holding `addr` whose class is in `mask`. */
     int
-    find(Addr addr, const WayPred &pred) const
+    find(Addr addr, ClassMask mask) const
+    {
+        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
+            const BlockMeta &m = ways_[i];
+            if (m.valid && m.addr == addr && matches(mask, m.cls))
+                return static_cast<int>(i);
+        }
+        return kNoWay;
+    }
+
+    /** Find a valid way holding `addr` and satisfying `pred`. */
+    template <typename Pred>
+    int
+    find(Addr addr, Pred &&pred) const
     {
         for (std::uint32_t i = 0; i < ways_.size(); ++i) {
             const BlockMeta &m = ways_[i];
@@ -68,29 +89,25 @@ class CacheSet
     int
     findAny(Addr addr) const
     {
-        return find(addr, [](const BlockMeta &) { return true; });
+        return find(addr, kMatchAny);
     }
 
     /** Promote a way to MRU. */
     void
     touch(int w)
     {
-        auto it = std::find(lru_.begin(), lru_.end(),
-                            static_cast<std::uint8_t>(w));
-        ESP_ASSERT(it != lru_.end(), "way not in recency stack");
-        lru_.erase(it);
-        lru_.insert(lru_.begin(), static_cast<std::uint8_t>(w));
+        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
+                   "way out of range");
+        stamp_[static_cast<std::size_t>(w)] = ++hi_;
     }
 
     /** Demote a way to LRU (used when inserting low-priority blocks). */
     void
     demote(int w)
     {
-        auto it = std::find(lru_.begin(), lru_.end(),
-                            static_cast<std::uint8_t>(w));
-        ESP_ASSERT(it != lru_.end(), "way not in recency stack");
-        lru_.erase(it);
-        lru_.push_back(static_cast<std::uint8_t>(w));
+        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
+                   "way out of range");
+        stamp_[static_cast<std::size_t>(w)] = --lo_;
     }
 
     /** Any invalid way, or kNoWay. */
@@ -103,28 +120,65 @@ class CacheSet
         return kNoWay;
     }
 
-    /** LRU-most valid way satisfying `pred`, or kNoWay. */
+    /** LRU-most valid way whose class is in `mask`, or kNoWay. */
     int
-    lruAmong(const WayPred &pred) const
+    lruAmong(ClassMask mask) const
     {
-        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-            const BlockMeta &m = ways_[*it];
-            if (m.valid && pred(m))
-                return static_cast<int>(*it);
+        int best = kNoWay;
+        std::int64_t best_stamp = 0;
+        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
+            const BlockMeta &m = ways_[i];
+            if (!m.valid || !matches(mask, m.cls))
+                continue;
+            if (best == kNoWay || stamp_[i] < best_stamp) {
+                best = static_cast<int>(i);
+                best_stamp = stamp_[i];
+            }
         }
-        return kNoWay;
+        return best;
+    }
+
+    /** LRU-most valid way satisfying `pred`, or kNoWay. */
+    template <typename Pred>
+    int
+    lruAmong(Pred &&pred) const
+    {
+        int best = kNoWay;
+        std::int64_t best_stamp = 0;
+        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
+            const BlockMeta &m = ways_[i];
+            if (!m.valid || !pred(m))
+                continue;
+            if (best == kNoWay || stamp_[i] < best_stamp) {
+                best = static_cast<int>(i);
+                best_stamp = stamp_[i];
+            }
+        }
+        return best;
     }
 
     /** Globally LRU valid way, or kNoWay when the set is empty. */
     int
     lruWay() const
     {
-        return lruAmong([](const BlockMeta &) { return true; });
+        return lruAmong(kMatchAny);
+    }
+
+    /** Count valid ways whose class is in `mask`. */
+    std::uint32_t
+    countIf(ClassMask mask) const
+    {
+        std::uint32_t n = 0;
+        for (const auto &m : ways_)
+            if (m.valid && matches(mask, m.cls))
+                ++n;
+        return n;
     }
 
     /** Count valid ways satisfying `pred`. */
+    template <typename Pred>
     std::uint32_t
-    countIf(const WayPred &pred) const
+    countIf(Pred &&pred) const
     {
         std::uint32_t n = 0;
         for (const auto &m : ways_)
@@ -137,22 +191,28 @@ class CacheSet
     std::uint32_t
     helpingCount() const
     {
-        return countIf([](const BlockMeta &m) { return isHelping(m.cls); });
+        return countIf(kMatchHelping);
     }
 
     /** Recency position of a way: 0 = MRU .. w-1 = LRU (testing aid). */
     std::uint32_t
     recencyOf(int w) const
     {
-        for (std::uint32_t i = 0; i < lru_.size(); ++i)
-            if (lru_[i] == static_cast<std::uint8_t>(w))
-                return i;
-        ESP_PANIC("way not in recency stack");
+        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
+                   "way out of range");
+        const std::int64_t s = stamp_[static_cast<std::size_t>(w)];
+        std::uint32_t rank = 0;
+        for (std::uint32_t i = 0; i < stamp_.size(); ++i)
+            if (stamp_[i] > s)
+                ++rank;
+        return rank;
     }
 
   private:
     std::vector<BlockMeta> ways_;
-    std::vector<std::uint8_t> lru_; //!< recency stack, front = MRU
+    std::vector<std::int64_t> stamp_; //!< LRU age, larger = more recent
+    std::int64_t hi_ = 0;             //!< last MRU stamp handed out
+    std::int64_t lo_ = 0;             //!< next LRU stamp is lo_ - 1
 };
 
 } // namespace espnuca

@@ -117,26 +117,29 @@ class StaticPartitionLru : public ReplacementPolicy
     {
         (void)ctx;
         const bool priv_side = sideOf(incoming);
-        const auto side_pred = [priv_side, this](const BlockMeta &m) {
-            return sideOf(m.cls) == priv_side;
-        };
+        const ClassMask side_mask =
+            priv_side ? kPrivateSide : static_cast<ClassMask>(
+                                           kMatchAny & ~kPrivateSide);
         const std::uint32_t quota =
             priv_side ? privateWays_ : totalWays_ - privateWays_;
-        if (set.countIf(side_pred) >= quota)
-            return set.lruAmong(side_pred);
+        if (set.countIf(side_mask) >= quota)
+            return set.lruAmong(side_mask);
         const int inv = set.invalidWay();
         if (inv != kNoWay)
             return inv;
         // Under quota with a full set: the other side must be over its
         // quota, reclaim its LRU way.
-        return set.lruAmong([priv_side, this](const BlockMeta &m) {
-            return sideOf(m.cls) != priv_side;
-        });
+        return set.lruAmong(
+            static_cast<ClassMask>(kMatchAny & ~side_mask));
     }
 
     std::uint32_t privateWays() const { return privateWays_; }
 
   private:
+    /** Private-partition classes (replica folds into the private side). */
+    static constexpr ClassMask kPrivateSide =
+        kMatchPrivate | kMatchReplica;
+
     static bool
     sideOf(BlockClass c)
     {
@@ -171,8 +174,7 @@ class ProtectedLru : public ReplacementPolicy
             if (limit == 0)
                 return kNoWay;
             if (n >= limit)
-                return set.lruAmong(
-                    [](const BlockMeta &m) { return isHelping(m.cls); });
+                return set.lruAmong(kMatchHelping);
             const int inv = set.invalidWay();
             if (inv != kNoWay)
                 return inv;
@@ -183,8 +185,7 @@ class ProtectedLru : public ReplacementPolicy
         if (inv != kNoWay)
             return inv;
         if (n >= limit && n > 0)
-            return set.lruAmong(
-                [](const BlockMeta &m) { return isHelping(m.cls); });
+            return set.lruAmong(kMatchHelping);
         return set.lruWay();
     }
 
@@ -229,9 +230,9 @@ class ShadowTagPolicy : public ReplacementPolicy
     {
         const SetState &st = state_.at(ctx.setIndex);
         const bool priv_side = incoming == BlockClass::Private;
-        const auto side_pred = [priv_side](const BlockMeta &m) {
-            return (m.cls == BlockClass::Private) == priv_side;
-        };
+        const ClassMask side_mask =
+            priv_side ? kMatchPrivate
+                      : static_cast<ClassMask>(kMatchAny & ~kMatchPrivate);
         const std::uint32_t quota =
             priv_side ? st.targetPrivate : totalWays_ - st.targetPrivate;
         // The learned target is a soft partition: free capacity is
@@ -240,14 +241,13 @@ class ShadowTagPolicy : public ReplacementPolicy
         const int inv = set.invalidWay();
         if (inv != kNoWay)
             return inv;
-        if (set.countIf(side_pred) >= quota) {
-            const int w = set.lruAmong(side_pred);
+        if (set.countIf(side_mask) >= quota) {
+            const int w = set.lruAmong(side_mask);
             if (w != kNoWay)
                 return w;
         }
-        const int other = set.lruAmong([priv_side](const BlockMeta &m) {
-            return (m.cls == BlockClass::Private) != priv_side;
-        });
+        const int other = set.lruAmong(
+            static_cast<ClassMask>(kMatchAny & ~side_mask));
         return other != kNoWay ? other : set.lruWay();
     }
 

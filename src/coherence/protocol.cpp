@@ -143,7 +143,7 @@ Protocol::begin(Transaction *tx)
 
 void
 Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
-                WayPred match, NodeId from_node, Cycle t,
+                ClassMask match, NodeId from_node, Cycle t,
                 std::function<void(int, Cycle)> cb)
 {
     const NodeId node = topo_.bankNode(bank);
@@ -154,19 +154,23 @@ Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
     // The tag match is evaluated when the probe event fires, so a block
     // migrated or displaced in the meantime is genuinely missed (the
     // "false misses due to migrating blocks" of token coherence).
-    eq_.scheduleAt(tag_done, [this, &tx, &b, set_index,
-                              match = std::move(match),
+    // The transaction may already have completed when the event fires
+    // (a sibling probe of a parallel fan-out hit first and finish()
+    // destroyed it), so the lambda captures the address by value; late
+    // continuations bail out on their own resolved flag before touching
+    // the transaction.
+    eq_.scheduleAt(tag_done, [this, addr = tx.addr, &b, set_index, match,
                               cb = std::move(cb), tag_done]() {
-        const int way = b.find(set_index, tx.addr, match);
+        const int way = b.find(set_index, addr, match);
         // Demand-stream accounting for the monitor and learning policies
         // (h = 1 only on a first-class hit, paper 3.3).
-        const BlockInfo *e = dir_.find(tx.addr);
+        const BlockInfo *e = dir_.find(addr);
         const BlockClass demand_cls = (e && e->sharedStatus)
                                           ? BlockClass::Shared
                                           : BlockClass::Private;
         const bool fc_hit =
             way != kNoWay && isFirstClass(b.meta(set_index, way).cls);
-        b.recordDemand(set_index, tx.addr, demand_cls, fc_hit);
+        b.recordDemand(set_index, addr, demand_cls, fc_hit);
         cb(way, tag_done);
     });
 }

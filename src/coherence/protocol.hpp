@@ -103,11 +103,12 @@ class Protocol
     /**
      * Probe one bank: bills the mesh hop(s) from `from_node`, the bank's
      * tag occupancy, and calls `cb(way, t_done)` at tag-check completion
-     * (way == kNoWay on miss). The match predicate models the tag
-     * comparison, including the private bit.
+     * (way == kNoWay on miss). The match mask models the tag
+     * comparison, including the private bit — a trivially-copyable
+     * class filter, so scheduling the probe allocates nothing for it.
      */
     void probe(Transaction &tx, BankId bank, std::uint32_t set_index,
-               WayPred match, NodeId from_node, Cycle t,
+               ClassMask match, NodeId from_node, Cycle t,
                std::function<void(int, Cycle)> cb);
 
     /** The search found the block in a bank; protocol completes. */

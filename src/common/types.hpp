@@ -81,6 +81,37 @@ isHelping(BlockClass c)
     return c == BlockClass::Replica || c == BlockClass::Victim;
 }
 
+/**
+ * Bitmask over BlockClass values. Every tag-match predicate the
+ * architectures use is a pure class-membership test (the paper's
+ * "private bit added to the tag comparison"), so the hot lookup path
+ * passes one of these trivially-copyable masks instead of a type-erased
+ * std::function predicate.
+ */
+using ClassMask = std::uint8_t;
+
+/** Mask bit of one block class. */
+constexpr ClassMask
+classBit(BlockClass c)
+{
+    return static_cast<ClassMask>(1u << static_cast<unsigned>(c));
+}
+
+inline constexpr ClassMask kMatchPrivate = classBit(BlockClass::Private);
+inline constexpr ClassMask kMatchShared = classBit(BlockClass::Shared);
+inline constexpr ClassMask kMatchReplica = classBit(BlockClass::Replica);
+inline constexpr ClassMask kMatchVictim = classBit(BlockClass::Victim);
+inline constexpr ClassMask kMatchFirstClass = kMatchPrivate | kMatchShared;
+inline constexpr ClassMask kMatchHelping = kMatchReplica | kMatchVictim;
+inline constexpr ClassMask kMatchAny = kMatchFirstClass | kMatchHelping;
+
+/** Does `c` belong to the mask? */
+constexpr bool
+matches(ClassMask m, BlockClass c)
+{
+    return (m & classBit(c)) != 0;
+}
+
 /** Human-readable block class name. */
 inline const char *
 toString(BlockClass c)

@@ -4,17 +4,28 @@
  * over several seeded runs with workload perturbation, reports mean and
  * 95 % confidence interval (paper Section 4.2), and provides the
  * normalization and table-printing helpers the figure benches share.
+ *
+ * Because every simulate() call is an independent, seed-deterministic
+ * unit, the harness also offers a parallel runner: (arch, workload,
+ * seed) triples fan out across a ThreadPool and the per-run results are
+ * folded back into RunningStats in deterministic seed order, so the
+ * parallel statistics are bit-identical to the serial ones.
  */
 
 #ifndef ESPNUCA_HARNESS_EXPERIMENT_HPP_
 #define ESPNUCA_HARNESS_EXPERIMENT_HPP_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "harness/system.hpp"
 #include "stats/running_stats.hpp"
 
@@ -44,13 +55,16 @@ struct ExperimentConfig
     std::uint32_t runs = 3;
     std::uint64_t baseSeed = 12345;
     double warmupFraction = 0.5; //!< cache warmup before stats start
+    std::uint32_t jobs = 0;      //!< worker threads; 0 = auto
 
     /**
-     * Benches honor two environment knobs so the default `for b in
-     * build/bench/*` sweep stays fast while full-fidelity runs remain a
+     * Benches honor three environment knobs so the default sweep over
+     * every bench binary stays fast while full-fidelity runs remain a
      * single export away:
      *   ESPNUCA_OPS   — references per core (default per bench)
      *   ESPNUCA_RUNS  — seeded runs per data point
+     *   ESPNUCA_JOBS  — worker threads for the parallel runner
+     *                   (default: hardware concurrency; 1 = serial)
      */
     static ExperimentConfig
     fromEnv(std::uint64_t default_ops = 60'000,
@@ -66,21 +80,35 @@ struct ExperimentConfig
                 std::strtoul(s, nullptr, 10));
         return e;
     }
+
+    /** Worker count after resolving `jobs == 0` against the env. */
+    std::uint32_t
+    resolveJobs() const
+    {
+        return jobs != 0 ? jobs : ThreadPool::defaultJobs();
+    }
+
+    /** Seed of repetition `r` (shared by every runner). */
+    std::uint64_t
+    seedOf(std::uint32_t r) const
+    {
+        return baseSeed + r * 7919;
+    }
 };
 
-/** Run one data point over the configured seeds. */
+/**
+ * Fold per-seed run results into a data point. Always iterates in the
+ * order given — callers keep that order equal to the seed order, which
+ * is what makes serial and parallel statistics bit-identical.
+ */
 inline DataPoint
-runPoint(const ExperimentConfig &cfg, const std::string &arch,
-         const std::string &workload)
+foldRuns(const std::string &arch, const std::string &workload,
+         const std::vector<RunResult> &runs)
 {
     DataPoint p;
     p.arch = arch;
     p.workload = workload;
-    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-        const std::uint64_t seed = cfg.baseSeed + r * 7919;
-        const RunResult res =
-            simulate(cfg.system, arch, workload, cfg.opsPerCore, seed,
-                     cfg.warmupFraction);
+    for (const RunResult &res : runs) {
         p.throughput.record(res.throughput);
         p.avgIpc.record(res.avgIpc);
         p.avgAccessTime.record(res.avgAccessTime);
@@ -92,6 +120,194 @@ runPoint(const ExperimentConfig &cfg, const std::string &arch,
     }
     return p;
 }
+
+/** Run one data point over the configured seeds, serially. */
+inline DataPoint
+runPoint(const ExperimentConfig &cfg, const std::string &arch,
+         const std::string &workload)
+{
+    std::vector<RunResult> runs;
+    runs.reserve(cfg.runs);
+    for (std::uint32_t r = 0; r < cfg.runs; ++r)
+        runs.push_back(simulate(cfg.system, arch, workload,
+                                cfg.opsPerCore, cfg.seedOf(r),
+                                cfg.warmupFraction));
+    return foldRuns(arch, workload, runs);
+}
+
+/**
+ * Run one data point with the seeded repetitions fanned out over a
+ * thread pool. Results are harvested in seed order, so the returned
+ * statistics are bit-identical to runPoint's. With one job (or one
+ * run) this falls back to the serial path — no pool, no threads.
+ *
+ * @param pool optional externally owned pool (shared across points);
+ *        when null a pool of cfg.resolveJobs() workers is created
+ */
+inline DataPoint
+runPointParallel(const ExperimentConfig &cfg, const std::string &arch,
+                 const std::string &workload, ThreadPool *pool = nullptr)
+{
+    const std::uint32_t jobs = pool ? pool->size() : cfg.resolveJobs();
+    if (jobs <= 1 || cfg.runs <= 1)
+        return runPoint(cfg, arch, workload);
+    std::optional<ThreadPool> owned;
+    if (pool == nullptr) {
+        owned.emplace(jobs);
+        pool = &*owned;
+    }
+    std::vector<std::future<RunResult>> futs;
+    futs.reserve(cfg.runs);
+    const SystemConfig system = cfg.system;
+    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
+        const std::uint64_t seed = cfg.seedOf(r);
+        futs.push_back(pool->submit(
+            [system, arch, workload, ops = cfg.opsPerCore, seed,
+             warmup = cfg.warmupFraction]() {
+                return simulate(system, arch, workload, ops, seed,
+                                warmup);
+            }));
+    }
+    std::vector<RunResult> runs;
+    runs.reserve(cfg.runs);
+    for (auto &f : futs)
+        runs.push_back(f.get()); // seed order, rethrows task errors
+    return foldRuns(arch, workload, runs);
+}
+
+/**
+ * A batch of (arch, workload) data points executed together. Benches
+ * declare every point they will read up front, call run() once — which
+ * fans all (point, seed) pairs across the worker pool — and then read
+ * the aggregated points while printing their tables. Statistics are
+ * bit-identical to calling runPoint per point, in any job count.
+ */
+class ExperimentMatrix
+{
+  public:
+    explicit ExperimentMatrix(ExperimentConfig base)
+        : base_(std::move(base))
+    {
+    }
+
+    /** Declare a point under the base configuration (deduplicated). */
+    void
+    add(const std::string &arch, const std::string &workload)
+    {
+        add(base_, arch, workload, defaultKey(arch, workload));
+    }
+
+    /**
+     * Declare a point under a custom configuration. `key` names the
+     * point for at(); the default key is derived from arch+workload, so
+     * points differing only in configuration need explicit keys.
+     */
+    void
+    add(const ExperimentConfig &cfg, const std::string &arch,
+        const std::string &workload, const std::string &key)
+    {
+        if (index_.count(key) != 0)
+            return;
+        index_[key] = entries_.size();
+        entries_.push_back(Entry{cfg, arch, workload});
+    }
+
+    /**
+     * Execute every declared point. Safe to call once; the points are
+     * then immutable. With an effective job count of 1 the runs execute
+     * inline (declaration-then-seed order) without any pool.
+     */
+    void
+    run(ThreadPool *pool = nullptr)
+    {
+        ESP_ASSERT(points_.empty(), "matrix already ran");
+        const std::uint32_t jobs =
+            pool ? pool->size() : base_.resolveJobs();
+        std::optional<ThreadPool> owned;
+        if (pool == nullptr && jobs > 1) {
+            owned.emplace(jobs);
+            pool = &*owned;
+        }
+        // Fan out: one task per (point, seed); harvest per point in
+        // seed order. Serial fallback runs the same loop inline.
+        std::vector<std::vector<std::future<RunResult>>> futs;
+        if (jobs > 1) {
+            futs.resize(entries_.size());
+            for (std::size_t e = 0; e < entries_.size(); ++e) {
+                const Entry &en = entries_[e];
+                futs[e].reserve(en.cfg.runs);
+                for (std::uint32_t r = 0; r < en.cfg.runs; ++r) {
+                    const std::uint64_t seed = en.cfg.seedOf(r);
+                    futs[e].push_back(pool->submit(
+                        [system = en.cfg.system, arch = en.arch,
+                         workload = en.workload, ops = en.cfg.opsPerCore,
+                         seed, warmup = en.cfg.warmupFraction]() {
+                            return simulate(system, arch, workload, ops,
+                                            seed, warmup);
+                        }));
+                }
+            }
+        }
+        points_.reserve(entries_.size());
+        for (std::size_t e = 0; e < entries_.size(); ++e) {
+            const Entry &en = entries_[e];
+            std::vector<RunResult> runs;
+            runs.reserve(en.cfg.runs);
+            for (std::uint32_t r = 0; r < en.cfg.runs; ++r) {
+                if (jobs > 1)
+                    runs.push_back(futs[e][r].get());
+                else
+                    runs.push_back(simulate(
+                        en.cfg.system, en.arch, en.workload,
+                        en.cfg.opsPerCore, en.cfg.seedOf(r),
+                        en.cfg.warmupFraction));
+            }
+            points_.push_back(foldRuns(en.arch, en.workload, runs));
+        }
+    }
+
+    /** Point by (arch, workload) under the default key. */
+    const DataPoint &
+    at(const std::string &arch, const std::string &workload) const
+    {
+        return at(defaultKey(arch, workload));
+    }
+
+    /** Point by explicit key. */
+    const DataPoint &
+    at(const std::string &key) const
+    {
+        ESP_ASSERT(!points_.empty(), "matrix not run yet");
+        auto it = index_.find(key);
+        if (it == index_.end())
+            ESP_PANIC("unknown experiment point: " + key);
+        return points_[it->second];
+    }
+
+    /** All points in declaration order (valid after run()). */
+    const std::vector<DataPoint> &points() const { return points_; }
+
+    const ExperimentConfig &config() const { return base_; }
+
+  private:
+    struct Entry
+    {
+        ExperimentConfig cfg;
+        std::string arch;
+        std::string workload;
+    };
+
+    static std::string
+    defaultKey(const std::string &arch, const std::string &workload)
+    {
+        return arch + '\x1f' + workload;
+    }
+
+    ExperimentConfig base_;
+    std::vector<Entry> entries_;
+    std::map<std::string, std::size_t> index_;
+    std::vector<DataPoint> points_;
+};
 
 /** Geometric mean over a set of per-workload values. */
 inline double
@@ -111,9 +327,9 @@ printHeader(const std::string &title, const ExperimentConfig &cfg)
 {
     std::printf("==============================================================\n");
     std::printf("%s\n", title.c_str());
-    std::printf("ops/core=%llu runs=%u cores=%u L2=%lluMB banks=%u\n",
+    std::printf("ops/core=%llu runs=%u jobs=%u cores=%u L2=%lluMB banks=%u\n",
                 static_cast<unsigned long long>(cfg.opsPerCore),
-                cfg.runs, cfg.system.numCores,
+                cfg.runs, cfg.resolveJobs(), cfg.system.numCores,
                 static_cast<unsigned long long>(
                     cfg.system.l2SizeBytes >> 20),
                 cfg.system.l2Banks);

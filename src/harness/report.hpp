@@ -8,8 +8,11 @@
 #ifndef ESPNUCA_HARNESS_REPORT_HPP_
 #define ESPNUCA_HARNESS_REPORT_HPP_
 
+#include <cstdio>
+#include <fstream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
@@ -77,7 +80,83 @@ writePointJson(JsonWriter &w, const DataPoint &p)
     stat("avg_access_time", p.avgAccessTime);
     stat("on_chip_latency", p.onChipLatency);
     stat("off_chip_accesses", p.offChip);
+    w.key("service_levels").beginObject();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(ServiceLevel::kNumLevels); ++i)
+        stat(toString(static_cast<ServiceLevel>(i)),
+             p.levelContribution[i]);
     w.endObject();
+    w.endObject();
+}
+
+/**
+ * A whole bench as one JSON document: the experiment configuration
+ * followed by every aggregated data point, in declaration order.
+ *
+ * Schema:
+ *   { "bench": <name>,
+ *     "config": { "ops_per_core", "runs", "base_seed",
+ *                 "warmup_fraction", "jobs", "cores", "l2_bytes",
+ *                 "l2_banks" },
+ *     "points": [ <writePointJson objects> ] }
+ */
+inline void
+writeBenchJson(JsonWriter &w, const std::string &bench,
+               const ExperimentConfig &cfg,
+               const std::vector<DataPoint> &points)
+{
+    w.beginObject();
+    w.field("bench", bench);
+    w.key("config").beginObject();
+    w.field("ops_per_core", cfg.opsPerCore);
+    w.field("runs", static_cast<std::uint64_t>(cfg.runs));
+    w.field("base_seed", cfg.baseSeed);
+    w.field("warmup_fraction", cfg.warmupFraction);
+    w.field("jobs", static_cast<std::uint64_t>(cfg.resolveJobs()));
+    w.field("cores", static_cast<std::uint64_t>(cfg.system.numCores));
+    w.field("l2_bytes", cfg.system.l2SizeBytes);
+    w.field("l2_banks", static_cast<std::uint64_t>(cfg.system.l2Banks));
+    w.endObject();
+    w.key("points").beginArray();
+    for (const DataPoint &p : points)
+        writePointJson(w, p);
+    w.endArray();
+    w.endObject();
+}
+
+/**
+ * Write the bench document to `path`. Returns false (with a message on
+ * stderr) when the file cannot be opened; benches keep their console
+ * tables either way.
+ */
+inline bool
+writeBenchJsonFile(const std::string &path, const std::string &bench,
+                   const ExperimentConfig &cfg,
+                   const std::vector<DataPoint> &points)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot open %s for JSON output\n",
+                     path.c_str());
+        return false;
+    }
+    JsonWriter w;
+    writeBenchJson(w, bench, cfg, points);
+    out << w.str() << '\n';
+    return out.good();
+}
+
+/**
+ * Extract the `--json <path>` argument every figure bench accepts.
+ * Returns an empty string when absent.
+ */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            return argv[i + 1];
+    return std::string();
 }
 
 /** CSV header matching runToCsv. */

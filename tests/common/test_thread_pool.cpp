@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ThreadPool unit tests: result ordering through futures, exception
+ * propagation, single-worker operation, and the ESPNUCA_JOBS
+ * environment knob behind defaultJobs().
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(ThreadPool, ResultsArriveInSubmissionSlots)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 100; ++i)
+        futs.push_back(pool.submit([i]() { return i * i; }));
+    // Harvest in submission order: values map to their slot regardless
+    // of the order the workers finished in.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([]() { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, SingleWorkerRunsEverything)
+{
+    ThreadPool pool(1);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 1; i <= 50; ++i)
+        futs.push_back(pool.submit([&sum, i]() { sum += i; }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(sum.load(), 50 * 51 / 2);
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    ::setenv("ESPNUCA_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ::setenv("ESPNUCA_JOBS", "1", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 1u);
+    ::setenv("ESPNUCA_JOBS", "0", 1); // nonsense clamps to 1
+    EXPECT_EQ(ThreadPool::defaultJobs(), 1u);
+    ::unsetenv("ESPNUCA_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&done]() { ++done; });
+        // No explicit get(): destruction must still run everything.
+    }
+    EXPECT_EQ(done.load(), 20);
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The parallel experiment runner must be a pure wall-clock
+ * optimization: every statistic of a DataPoint — means, confidence
+ * intervals, extrema, per-level decompositions — must be bit-identical
+ * to the serial runner's, at any job count, because the per-seed runs
+ * are independent and are folded in seed order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "harness/experiment.hpp"
+
+namespace espnuca {
+namespace {
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.opsPerCore = 3'000;
+    cfg.runs = 3;
+    cfg.baseSeed = 42;
+    return cfg;
+}
+
+void
+expectStatsIdentical(const RunningStats &a, const RunningStats &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    // Exact equality on purpose: the fold order is the contract.
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.ci95(), b.ci95());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+void
+expectPointsIdentical(const DataPoint &a, const DataPoint &b)
+{
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.workload, b.workload);
+    expectStatsIdentical(a.throughput, b.throughput);
+    expectStatsIdentical(a.avgIpc, b.avgIpc);
+    expectStatsIdentical(a.avgAccessTime, b.avgAccessTime);
+    expectStatsIdentical(a.onChipLatency, b.onChipLatency);
+    expectStatsIdentical(a.offChip, b.offChip);
+    for (std::size_t i = 0; i < a.levelContribution.size(); ++i)
+        expectStatsIdentical(a.levelContribution[i],
+                             b.levelContribution[i]);
+    EXPECT_EQ(a.lastRun.cycles, b.lastRun.cycles);
+    EXPECT_EQ(a.lastRun.offChipAccesses, b.lastRun.offChipAccesses);
+}
+
+TEST(ParallelDeterminism, EspNucaMatchesSerial)
+{
+    const ExperimentConfig cfg = smallConfig();
+    const DataPoint serial = runPoint(cfg, "esp-nuca", "apache");
+    ThreadPool pool(4);
+    const DataPoint parallel =
+        runPointParallel(cfg, "esp-nuca", "apache", &pool);
+    expectPointsIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, SpNucaMatchesSerial)
+{
+    const ExperimentConfig cfg = smallConfig();
+    const DataPoint serial = runPoint(cfg, "sp-nuca", "gzip-4");
+    ThreadPool pool(4);
+    const DataPoint parallel =
+        runPointParallel(cfg, "sp-nuca", "gzip-4", &pool);
+    expectPointsIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, SingleJobFallbackMatchesSerial)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.jobs = 1; // forces the inline serial path, no pool at all
+    const DataPoint serial = runPoint(cfg, "esp-nuca", "apache");
+    const DataPoint fallback =
+        runPointParallel(cfg, "esp-nuca", "apache");
+    expectPointsIdentical(serial, fallback);
+}
+
+TEST(ParallelDeterminism, MatrixMatchesPerPointSerial)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.runs = 2;
+
+    ExperimentMatrix m(cfg);
+    const std::vector<std::pair<std::string, std::string>> pts = {
+        {"esp-nuca", "apache"},
+        {"sp-nuca", "apache"},
+        {"shared", "gzip-4"},
+    };
+    for (const auto &[a, w] : pts)
+        m.add(a, w);
+    ThreadPool pool(4);
+    m.run(&pool);
+
+    ASSERT_EQ(m.points().size(), pts.size());
+    for (const auto &[a, w] : pts)
+        expectPointsIdentical(runPoint(cfg, a, w), m.at(a, w));
+}
+
+TEST(ParallelDeterminism, MatrixDeduplicatesPoints)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.runs = 1;
+    cfg.jobs = 1;
+    ExperimentMatrix m(cfg);
+    m.add("shared", "apache");
+    m.add("shared", "apache");
+    m.run();
+    EXPECT_EQ(m.points().size(), 1u);
+}
+
+} // namespace
+} // namespace espnuca

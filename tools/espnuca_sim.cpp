@@ -13,16 +13,19 @@
  *   --l2-mb N  --banks N  --ways N  --mem-latency N  --cores N
  *   --window N  --mshrs N  --d N (monitor degradation shift)
  * Run control:
- *   --ops N  --seed N  --runs N  --warmup F  --json  --csv
+ *   --ops N  --seed N  --runs N  --jobs N  --warmup F  --json  --csv
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "harness/report.hpp"
 #include "harness/system.hpp"
 #include "workload/trace_file.hpp"
@@ -38,6 +41,7 @@ struct Options
     std::uint64_t ops = 100'000;
     std::uint64_t seed = 1;
     std::uint32_t runs = 1;
+    std::uint32_t jobs = 0; //!< 0 = ESPNUCA_JOBS / hardware default
     double warmup = 0.5;
     bool json = false;
     bool csv = false;
@@ -57,6 +61,8 @@ usage(int code)
         "  --ops N              memory references per core\n"
         "  --seed N             base seed\n"
         "  --runs N             seeded repetitions (reports each run)\n"
+        "  --jobs N             worker threads for multi-run mode\n"
+        "                       (default ESPNUCA_JOBS or all cores)\n"
         "  --warmup F           warmup fraction before stats [0,1)\n"
         "  --json | --csv       machine-readable output\n"
         "  --stats              dump per-component statistics\n"
@@ -111,6 +117,8 @@ parse(int argc, char **argv)
             o.seed = parseU64(next());
         } else if (a == "--runs") {
             o.runs = static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--jobs") {
+            o.jobs = static_cast<std::uint32_t>(parseU64(next()));
         } else if (a == "--warmup") {
             o.warmup = std::atof(next());
         } else if (a == "--json") {
@@ -223,9 +231,30 @@ main(int argc, char **argv)
     if (o.json)
         json.beginArray();
 
+    // Multi-run mode fans the seeds across a worker pool; results are
+    // reported in seed order, so the output matches a serial sweep.
+    // Trace recording and stats dumps write as they run, so those modes
+    // stay serial.
+    const std::uint32_t jobs =
+        o.jobs != 0 ? o.jobs : ThreadPool::defaultJobs();
+    const bool parallel = jobs > 1 && o.runs > 1 && !o.stats &&
+                          o.recordTrace.empty();
+    std::optional<ThreadPool> pool;
+    std::vector<std::future<RunResult>> futs;
+    if (parallel) {
+        pool.emplace(jobs);
+        futs.reserve(o.runs);
+        for (std::uint32_t r = 0; r < o.runs; ++r)
+            futs.push_back(
+                pool->submit([&o, seed = o.seed + r * 7919]() {
+                    return runOnce(o, seed);
+                }));
+    }
+
     RunningStats thr;
     for (std::uint32_t r = 0; r < o.runs; ++r) {
-        const RunResult res = runOnce(o, o.seed + r * 7919);
+        const RunResult res =
+            parallel ? futs[r].get() : runOnce(o, o.seed + r * 7919);
         thr.record(res.throughput);
         if (o.json) {
             writeRunJson(json, res);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: Release build + full ctest, then a quick multithreaded
+# bench under ThreadSanitizer to guard the parallel experiment harness.
+#
+#   tools/run_tier1.sh [--skip-tsan]
+#
+# Environment:
+#   ESPNUCA_JOBS   worker threads for the TSan bench run (default 4)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "== tier-1: Release build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+    echo "== tier-1: TSan stage skipped =="
+    exit 0
+fi
+
+echo "== tier-1: TSan quick bench (fig09, tiny ops, parallel runner) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DESPNUCA_SANITIZE=thread
+cmake --build build-tsan -j --target fig09_multiprogrammed
+ESPNUCA_OPS=2000 ESPNUCA_RUNS=2 ESPNUCA_JOBS="${ESPNUCA_JOBS:-4}" \
+    ./build-tsan/bench/fig09_multiprogrammed > /dev/null
+echo "== tier-1: OK =="

@@ -8,14 +8,17 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <unordered_map>
 
 #include "cache/cache_bank.hpp"
 #include "cache/hit_rate_monitor.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/system.hpp"
 #include "net/mesh.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/heap_event_queue.hpp"
 #include "stats/ema.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -168,6 +171,128 @@ BM_EventQueue(benchmark::State &state)
     benchmark::DoNotOptimize(x);
 }
 BENCHMARK(BM_EventQueue);
+
+// Event-kernel microbench: the schedule/fire loop that dominates a
+// simulation run. Each fired event reschedules itself with a delay
+// pattern spanning same-cycle, typical hop, and DRAM-ish latencies so
+// both wheel levels (and, for the heap baseline, deep heap churn) are
+// exercised. The closure carries a probe-continuation-sized payload
+// (~72 bytes of captured state, matching the bank/set/mask/done
+// captures in the protocol hot path) so each kernel pays the storage
+// cost real events pay. Reported as items/sec where an item is one
+// event.
+template <typename Queue>
+void
+runEventKernel(benchmark::State &state)
+{
+    constexpr int kLive = 64;        // events in flight
+    constexpr int kRoundsPerIter = 256;
+    static constexpr Cycle kDelays[8] = {1, 3, 0, 14, 5, 97, 2, 420};
+    // Stand-in for the probe continuation's captured state (this,
+    // addr, bank, set, mask, tag, completion hook).
+    using Payload = std::array<std::uint64_t, 8>;
+    for (auto _ : state) {
+        Queue eq;
+        std::uint64_t budget =
+            static_cast<std::uint64_t>(kLive) * kRoundsPerIter;
+        std::uint64_t fired = 0;
+        std::uint64_t acc = 0;
+        struct Chain
+        {
+            Queue &eq;
+            std::uint64_t &budget;
+            std::uint64_t &fired;
+            std::uint64_t &acc;
+            void
+            fire(const Payload &p)
+            {
+                ++fired;
+                acc += p[0] + p[7];
+                if (budget == 0)
+                    return;
+                --budget;
+                const Cycle d = kDelays[(p[0] + fired) & 7];
+                Payload next = p;
+                next[0] = p[0] * 3 + 1;
+                next[7] ^= fired;
+                eq.schedule(d, [this, next]() { fire(next); });
+            }
+        };
+        Chain chain{eq, budget, fired, acc};
+        for (int i = 0; i < kLive; ++i) {
+            --budget;
+            Payload p{};
+            p[0] = static_cast<std::uint64_t>(i);
+            eq.schedule(kDelays[i & 7],
+                        [&chain, p]() { chain.fire(p); });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kLive) *
+                            kRoundsPerIter);
+}
+
+void
+BM_EventKernelWheel(benchmark::State &state)
+{
+    runEventKernel<EventQueue>(state);
+}
+BENCHMARK(BM_EventKernelWheel);
+
+void
+BM_EventKernelHeapBaseline(benchmark::State &state)
+{
+    runEventKernel<HeapEventQueue>(state);
+}
+BENCHMARK(BM_EventKernelHeapBaseline);
+
+// Hash-map hot path: the MSHR/live-transaction access pattern — a
+// small live set (bounded by outstanding misses) with every
+// transaction inserting a fresh block-aligned key, probing it a couple
+// of times in flight, then erasing it on completion. Node-based maps
+// pay an allocation/deallocation per transaction here; the flat map
+// pays none.
+template <typename Map>
+void
+runMapChurn(benchmark::State &state)
+{
+    constexpr std::uint64_t kSpace = 4096;
+    constexpr int kLive = 48; // outstanding transactions
+    Map m;
+    Rng rng(7);
+    Addr ring[kLive] = {};
+    int slot = 0;
+    for (auto _ : state) {
+        for (int round = 0; round < 64; ++round) {
+            if (ring[slot] != 0)
+                m.erase(ring[slot]); // retire the oldest transaction
+            const Addr a = (rng.below(kSpace) + 1) << 6;
+            ring[slot] = a;
+            slot = (slot + 1) % kLive;
+            m[a] = round;            // allocate MSHR
+            auto it = m.find(a);     // hit it while in flight
+            benchmark::DoNotOptimize(it->second);
+            benchmark::DoNotOptimize(m.find((a ^ 0x40)));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void
+BM_FlatMapChurn(benchmark::State &state)
+{
+    runMapChurn<FlatMap<Addr, int>>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
+
+void
+BM_UnorderedMapChurnBaseline(benchmark::State &state)
+{
+    runMapChurn<std::unordered_map<Addr, int>>(state);
+}
+BENCHMARK(BM_UnorderedMapChurnBaseline);
 
 void
 BM_TraceGenerator(benchmark::State &state)

@@ -16,10 +16,10 @@
 #define ESPNUCA_COHERENCE_DIRECTORY_HPP_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "coherence/l1_cache.hpp"
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 
@@ -259,7 +259,7 @@ class Directory
     }
 
     /** Iterate all tracked blocks (tests). */
-    const std::unordered_map<Addr, BlockInfo> &raw() const { return map_; }
+    const FlatMap<Addr, BlockInfo> &raw() const { return map_; }
 
   private:
     /**
@@ -277,7 +277,12 @@ class Directory
     }
 
     SystemConfig cfg_;
-    std::unordered_map<Addr, BlockInfo> map_;
+    /**
+     * Open-addressing map: the directory is probed on every L2 search
+     * step and every fill, so the lookup must be one mixed hash and
+     * (almost always) one cache line rather than a node chase.
+     */
+    FlatMap<Addr, BlockInfo> map_;
 };
 
 } // namespace espnuca

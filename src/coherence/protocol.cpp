@@ -26,6 +26,15 @@ Protocol::Protocol(const SystemConfig &cfg, const Topology &topo,
     org_.attach(*this);
 }
 
+Protocol::~Protocol()
+{
+    // Transactions still in flight when the simulation is torn down
+    // (e.g. a bounded runUntil) live on the slab; destroy them so
+    // their waiter vectors are released.
+    for (auto &[id, tx] : live_)
+        txSlab_.release(tx);
+}
+
 void
 Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
 {
@@ -74,18 +83,17 @@ Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
         return;
     }
 
-    auto tx = std::make_unique<Transaction>();
-    tx->id = nextId_++;
-    tx->core = c;
-    tx->type = t;
-    tx->addr = a;
-    tx->isWrite = is_write;
-    tx->isUpgrade = is_write && way != kNoWay;
-    tx->issueTime = issue;
-    tx->reqNode = topo_.coreNode(c);
-    tx->waiters.push_back({issue, std::move(done)});
-    Transaction *raw = tx.get();
-    live_[raw->id] = std::move(tx);
+    Transaction *raw = txSlab_.acquire();
+    raw->id = nextId_++;
+    raw->core = c;
+    raw->type = t;
+    raw->addr = a;
+    raw->isWrite = is_write;
+    raw->isUpgrade = is_write && way != kNoWay;
+    raw->issueTime = issue;
+    raw->reqNode = topo_.coreNode(c);
+    raw->waiters.push_back({issue, std::move(done)});
+    live_[raw->id] = raw;
     mshrs_[key] = raw;
     ++transactions_;
     acquireLock(a, [this, raw]() { begin(raw); });
@@ -143,8 +151,7 @@ Protocol::begin(Transaction *tx)
 
 void
 Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
-                ClassMask match, NodeId from_node, Cycle t,
-                std::function<void(int, Cycle)> cb)
+                ClassMask match, NodeId from_node, Cycle t, ProbeFn cb)
 {
     const NodeId node = topo_.bankNode(bank);
     const Cycle arrival =
@@ -518,7 +525,7 @@ Protocol::finish(Transaction *tx, Cycle completion)
     eq_.scheduleAt(completion, [this, id = tx->id, completion]() {
         auto it = live_.find(id);
         ESP_ASSERT(it != live_.end(), "finishing a dead transaction");
-        Transaction *tx = it->second.get();
+        Transaction *tx = it->second;
 
         // Attribute at completion so waiters that merged in while the
         // transaction was finishing are counted too.
@@ -546,15 +553,16 @@ Protocol::finish(Transaction *tx, Cycle completion)
         mshrs_.erase(key);
         const Addr a = tx->addr;
         live_.erase(it);
+        txSlab_.release(tx); // slot may be reused by the next access
         releaseLock(a);
     });
 }
 
 void
-Protocol::acquireLock(Addr a, std::function<void()> start)
+Protocol::acquireLock(Addr a, EventFn start)
 {
-    auto &q = locks_[a];
-    q.push_back(std::move(start));
+    LockQueue &q = locks_[a];
+    q.push(std::move(start));
     if (q.size() == 1)
         q.front()();
 }
@@ -565,13 +573,15 @@ Protocol::releaseLock(Addr a)
     auto it = locks_.find(a);
     ESP_ASSERT(it != locks_.end() && !it->second.empty(),
                "releasing an unheld lock");
-    it->second.pop_front();
+    it->second.pop();
     if (it->second.empty()) {
         locks_.erase(it);
         return;
     }
     // Start the next queued transaction on this block as a fresh event.
-    eq_.schedule(0, [fn = it->second.front()]() { fn(); });
+    // The closure moves out of the queue; the emptied entry stays at
+    // the front as the holder marker until that transaction releases.
+    eq_.schedule(0, std::move(it->second.front()));
 }
 
 double

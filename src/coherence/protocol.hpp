@@ -20,16 +20,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/address_map.hpp"
 #include "coherence/directory.hpp"
 #include "coherence/l1_cache.hpp"
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
+#include "common/slab.hpp"
 #include "common/types.hpp"
 #include "mem/memory_controller.hpp"
 #include "net/mesh.hpp"
@@ -39,8 +37,15 @@ namespace espnuca {
 
 class L2Org;
 
-/** Completion callback: service level and end-to-end latency in cycles. */
-using OpDone = std::function<void(ServiceLevel, Cycle)>;
+// OpDone (completion callback: service level + end-to-end latency)
+// lives in common/types.hpp — the core model issues it, we complete it.
+
+/**
+ * Probe continuation: way (kNoWay on miss) and tag-check completion
+ * time. Sized for the largest search closure (SP-NUCA's parallel
+ * remote fan-out captures ~44 bytes); stays inline on the hot path.
+ */
+using ProbeFn = InlineFn<void(int, Cycle), 48>;
 
 /** One in-flight miss transaction. */
 struct Transaction
@@ -89,6 +94,7 @@ class Protocol
   public:
     Protocol(const SystemConfig &cfg, const Topology &topo, Mesh &mesh,
              EventQueue &eq, L2Org &org);
+    ~Protocol();
 
     // -- Core-facing interface -----------------------------------------
 
@@ -108,8 +114,7 @@ class Protocol
      * class filter, so scheduling the probe allocates nothing for it.
      */
     void probe(Transaction &tx, BankId bank, std::uint32_t set_index,
-               ClassMask match, NodeId from_node, Cycle t,
-               std::function<void(int, Cycle)> cb);
+               ClassMask match, NodeId from_node, Cycle t, ProbeFn cb);
 
     /** The search found the block in a bank; protocol completes. */
     void l2Hit(Transaction &tx, BankId bank, std::uint32_t set_index,
@@ -237,8 +242,35 @@ class Protocol
     /** Attribute a serviced reference to its level. */
     void attribute(Transaction &tx, Cycle completion);
 
-    void acquireLock(Addr a, std::function<void()> start);
+    void acquireLock(Addr a, EventFn start);
     void releaseLock(Addr a);
+
+    /**
+     * FIFO of transactions serialized on one block. The front entry is
+     * the current holder (kept as a placeholder once started); the
+     * rest wait. A headed vector instead of a deque: queues are almost
+     * always depth 1-2, so one inline buffer beats chunked nodes.
+     */
+    struct LockQueue
+    {
+        std::vector<EventFn> q;
+        std::uint32_t head = 0;
+
+        bool empty() const { return head == q.size(); }
+        EventFn &front() { return q[head]; }
+        void push(EventFn fn) { q.push_back(std::move(fn)); }
+        std::size_t size() const { return q.size() - head; }
+
+        void
+        pop()
+        {
+            ++head;
+            if (head == q.size()) {
+                q.clear();
+                head = 0;
+            }
+        }
+    };
 
     SystemConfig cfg_;
     const Topology &topo_;
@@ -250,9 +282,14 @@ class Protocol
     std::vector<L1Cache> l1s_;
     std::vector<MemoryController> mcs_;
 
-    std::unordered_map<Addr, std::deque<std::function<void()>>> locks_;
-    std::unordered_map<MshrKey, Transaction *, MshrKeyHash> mshrs_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<Transaction>> live_;
+    // Hot-path bookkeeping: open-addressing tables (no per-entry heap
+    // nodes) and a slab for the Transaction objects themselves. live_
+    // maps id -> slab pointer; the id indirection is what lets late
+    // probe continuations detect a completed transaction safely.
+    FlatMap<Addr, LockQueue> locks_;
+    FlatMap<MshrKey, Transaction *, MshrKeyHash> mshrs_;
+    FlatMap<std::uint64_t, Transaction *> live_;
+    Slab<Transaction> txSlab_;
     std::uint64_t nextId_ = 1;
 
     std::array<LevelStats,

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Move-only callable with small-buffer optimisation (SBO).
+ *
+ * The simulation kernel schedules millions of closures; std::function
+ * heap-allocates any capture larger than its tiny internal buffer
+ * (16 bytes in libstdc++), which puts an allocator round trip on the
+ * hottest path of the simulator. InlineFn<R(Args...), N> stores any
+ * callable of size <= N directly inside the object — the common case
+ * (a `this` pointer, a Transaction address, a couple of ints) never
+ * touches the heap. Oversized callables still work through a heap
+ * fallback, so call sites never have to think about the limit; they
+ * only pay for it when they exceed it.
+ *
+ * Unlike std::function this type is move-only: the event kernel never
+ * copies events, and dropping copyability lets captured move-only
+ * state (other InlineFns, unique_ptrs) ride along for free.
+ */
+
+#ifndef ESPNUCA_COMMON_INLINE_FN_HPP_
+#define ESPNUCA_COMMON_INLINE_FN_HPP_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace espnuca {
+
+template <typename Sig, std::size_t N>
+class InlineFn; // undefined primary; use the R(Args...) specialization
+
+/**
+ * @tparam N inline storage in bytes; callables up to this size (and
+ *           alignof <= max_align_t) are stored in place.
+ */
+template <typename R, typename... Args, std::size_t N>
+class InlineFn<R(Args...), N>
+{
+  public:
+    InlineFn() noexcept = default;
+    InlineFn(std::nullptr_t) noexcept {}
+
+    /** Wrap any callable. Small ones live inline, large ones on heap. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFn(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            invoke_ = &invokeInline<Fn>;
+            // Trivially copyable targets (a this pointer plus POD
+            // context — the kernel's common case) need no manage
+            // function at all: relocation is a memcpy of the buffer
+            // and destruction is a no-op. manage_ stays null as the
+            // marker, which keeps moves free of indirect calls.
+            if constexpr (!std::is_trivially_copyable_v<Fn>)
+                manage_ = &manageInline<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            invoke_ = &invokeHeap<Fn>;
+            manage_ = &manageHeap<Fn>;
+        }
+    }
+
+    InlineFn(InlineFn &&o) noexcept { moveFrom(o); }
+
+    InlineFn &
+    operator=(InlineFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /** Drop the target (if any); *this becomes empty. */
+    void
+    reset() noexcept
+    {
+        if (invoke_ == nullptr)
+            return;
+        if (manage_ != nullptr)
+            manage_(buf_, nullptr); // destroy in place
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(const_cast<unsigned char *>(buf_),
+                       std::forward<Args>(args)...);
+    }
+
+    /** Inline capacity in bytes (for tests and sizing docs). */
+    static constexpr std::size_t capacity() { return N; }
+
+    /** True when a callable of type F would be stored inline. */
+    template <typename F>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(F) <= N &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+  private:
+    // manage_(dst, src): with src != nullptr, relocate *src into dst
+    // (move-construct there, destroy the source shell); with
+    // src == nullptr, destroy the object living in dst. A null
+    // manage_ on an engaged fn means the inline target is trivially
+    // copyable: relocate by memcpy, destroy by doing nothing.
+    using Invoke = R (*)(unsigned char *, Args...);
+    using Manage = void (*)(unsigned char *, unsigned char *);
+
+    template <typename Fn>
+    static R
+    invokeInline(unsigned char *b, Args... args)
+    {
+        return (*std::launder(reinterpret_cast<Fn *>(b)))(
+            std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static void
+    manageInline(unsigned char *dst, unsigned char *src)
+    {
+        if (src != nullptr) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (static_cast<void *>(dst)) Fn(std::move(*s));
+            s->~Fn();
+        } else {
+            std::launder(reinterpret_cast<Fn *>(dst))->~Fn();
+        }
+    }
+
+    template <typename Fn>
+    static R
+    invokeHeap(unsigned char *b, Args... args)
+    {
+        return (**std::launder(reinterpret_cast<Fn **>(b)))(
+            std::forward<Args>(args)...);
+    }
+
+    template <typename Fn>
+    static void
+    manageHeap(unsigned char *dst, unsigned char *src)
+    {
+        if (src != nullptr) {
+            // Relocation just moves the owning pointer.
+            ::new (static_cast<void *>(dst))
+                Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
+        } else {
+            delete *std::launder(reinterpret_cast<Fn **>(dst));
+        }
+    }
+
+    void
+    moveFrom(InlineFn &o) noexcept
+    {
+        if (o.invoke_ == nullptr)
+            return;
+        if (o.manage_ != nullptr)
+            o.manage_(buf_, o.buf_);
+        else
+            std::memcpy(buf_, o.buf_, N); // trivial inline target
+        invoke_ = o.invoke_;
+        manage_ = o.manage_;
+        o.invoke_ = nullptr;
+        o.manage_ = nullptr;
+    }
+
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[N];
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_INLINE_FN_HPP_

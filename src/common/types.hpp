@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/inline_fn.hpp"
+
 namespace espnuca {
 
 /** Physical block-aligned address (byte granularity). */
@@ -153,6 +155,16 @@ toString(ServiceLevel l)
       default: return "?";
     }
 }
+
+/**
+ * Completion callback of one memory reference: servicing level and
+ * end-to-end latency in cycles. Shared by the core model (issuer) and
+ * the coherence engine (completer), so it lives here rather than in
+ * either layer. An InlineFn so the per-reference capture (a core
+ * pointer plus an instruction index, typically ~24 bytes) never
+ * allocates; move-only because a completion fires exactly once.
+ */
+using OpDone = InlineFn<void(ServiceLevel, Cycle), 48>;
 
 } // namespace espnuca
 

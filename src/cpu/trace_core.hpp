@@ -56,9 +56,8 @@ class TraceSource
  * The memory-system entry point a core drives: issue a reference, get a
  * completion callback (service level + latency).
  */
-using MemoryIssueFn = std::function<void(
-    CoreId, AccessType, Addr,
-    std::function<void(ServiceLevel, Cycle)>)>;
+using MemoryIssueFn = std::function<void(CoreId, AccessType, Addr,
+                                         OpDone)>;
 
 /** One simulated core. */
 class TraceCore

@@ -81,8 +81,7 @@ class System
         warmupThreshold_ = static_cast<std::uint64_t>(
             warmup_fraction * static_cast<double>(total_ops));
         MemoryIssueFn issue = [this](CoreId c, AccessType t, Addr a,
-                                     std::function<void(ServiceLevel,
-                                                        Cycle)> done) {
+                                     OpDone done) {
             if (++issued_ == warmupThreshold_)
                 endWarmup();
             proto_.access(c, t, a, std::move(done));
@@ -125,8 +124,7 @@ class System
         warmupThreshold_ = static_cast<std::uint64_t>(
             warmup_fraction * static_cast<double>(total_ops));
         MemoryIssueFn issue = [this](CoreId c, AccessType t, Addr a,
-                                     std::function<void(ServiceLevel,
-                                                        Cycle)> done) {
+                                     OpDone done) {
             if (++issued_ == warmupThreshold_)
                 endWarmup();
             proto_.access(c, t, a, std::move(done));

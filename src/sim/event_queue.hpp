@@ -3,23 +3,49 @@
  * Discrete-event simulation kernel. A single global clock in core cycles;
  * events are closures ordered by (time, insertion sequence) so execution
  * is fully deterministic.
+ *
+ * Implementation: a hierarchical timing wheel. Nearly every delay the
+ * simulator schedules is a small bounded link/bank latency (router and
+ * link hops, tag/data occupancy, a DRAM access at worst), so the kernel
+ * keeps one FIFO bucket per cycle for the next kWheelSpan cycles and a
+ * far level (a small binary heap) for the rare event beyond that.
+ * Schedule and pop are O(1): a masked index plus a vector append, with
+ * a 4-word occupancy bitmap locating the next non-empty cycle. The
+ * far level is drained into the wheel as the clock advances, before
+ * any same-cycle event can be scheduled directly, which preserves the
+ * strict (time, insertion-seq) ordering contract — see DESIGN.md
+ * "Event kernel" for the argument.
+ *
+ * Events are InlineFn closures (no heap for typical captures) stored
+ * in a per-queue slab with a freelist, so steady-state scheduling
+ * performs no allocation at all. HeapEventQueue keeps the old
+ * priority-queue kernel as the differential-test and benchmark
+ * baseline.
  */
 
 #ifndef ESPNUCA_SIM_EVENT_QUEUE_HPP_
 #define ESPNUCA_SIM_EVENT_QUEUE_HPP_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/inline_fn.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace espnuca {
 
-/** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback executed when an event fires. The 128-byte inline buffer is
+ * sized for the fattest hot closure in the simulator: the probe
+ * continuation, which carries a 64-byte ProbeFn plus bank/set/time
+ * context (~104 bytes). Everything the protocol, cores and mesh
+ * schedule stays inline; larger captures fall back to the heap rather
+ * than failing to compile.
+ */
+using EventFn = InlineFn<void(), 128>;
 
 /**
  * Deterministic event queue. Ties at the same cycle fire in insertion
@@ -29,6 +55,10 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
+    /** Cycles covered by the near wheel (one FIFO bucket per cycle). */
+    static constexpr std::uint32_t kWheelBits = 8;
+    static constexpr std::uint32_t kWheelSpan = 1u << kWheelBits;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -40,49 +70,71 @@ class EventQueue
     void
     schedule(Cycle delay, EventFn fn)
     {
-        scheduleAt(now_ + delay, std::move(fn));
+        scheduleImpl(now_ + delay, std::move(fn));
     }
 
     /** Schedule fn at an absolute time >= now. */
     void
     scheduleAt(Cycle when, EventFn fn)
     {
-        ESP_ASSERT(when >= now_, "scheduling into the past");
-        heap_.push(Entry{when, seq_++, std::move(fn)});
+        scheduleImpl(when, std::move(fn));
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
 
     /** Time of the next pending event (queue must be non-empty). */
     Cycle
     nextEventTime() const
     {
-        ESP_ASSERT(!heap_.empty(), "no pending events");
-        return heap_.top().when;
+        ESP_ASSERT(pending_ != 0, "no pending events");
+        if (inWheel_ != 0)
+            return nextWheelTime();
+        return far_.front().when;
     }
 
     /** Execute the single next event, advancing the clock. */
     void
     step()
     {
-        ESP_ASSERT(!heap_.empty(), "stepping an empty queue");
-        // Move the entry out before popping so the callback may schedule.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        now_ = e.when;
+        ESP_ASSERT(pending_ != 0, "stepping an empty queue");
+        // Fast path: the current cycle's bucket still has events. Far
+        // events always lie at or beyond now_ + kWheelSpan, so nothing
+        // can precede the bucket — skip the bitmap scan and advance.
+        Bucket *bp = &buckets_[static_cast<std::uint32_t>(now_) & kMask];
+        if (bp->head == bp->q.size()) {
+            advanceTo(nextEventTime());
+            bp = &buckets_[static_cast<std::uint32_t>(now_) & kMask];
+        }
+        Bucket &b = *bp;
+        ESP_ASSERT(b.head < b.q.size(), "wheel bucket out of sync");
+        const std::uint32_t idx = b.q[b.head++];
+        if (b.head == b.q.size()) {
+            b.q.clear();
+            b.head = 0;
+            bitmap_[(static_cast<std::uint32_t>(now_) & kMask) >> 6] &=
+                ~(std::uint64_t{1}
+                  << ((static_cast<std::uint32_t>(now_) & kMask) & 63));
+        }
+        --pending_;
+        --inWheel_;
         ++executed_;
-        e.fn();
+        // Move the closure out before firing so the slot can be reused
+        // by anything the callback schedules (the move leaves the
+        // slot empty).
+        EventFn fn = std::move(pool_[idx]);
+        free_.push_back(idx);
+        fn();
     }
 
     /** Run until the queue drains. */
     void
     run()
     {
-        while (!heap_.empty())
+        while (pending_ != 0)
             step();
     }
 
@@ -93,9 +145,9 @@ class EventQueue
     void
     runUntil(Cycle limit)
     {
-        while (!heap_.empty() && heap_.top().when <= limit)
+        while (pending_ != 0 && nextEventTime() <= limit)
             step();
-        if (now_ < limit && heap_.empty())
+        if (now_ < limit && pending_ == 0)
             now_ = limit;
     }
 
@@ -103,17 +155,28 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Entry
+    static constexpr std::uint32_t kMask = kWheelSpan - 1;
+    static constexpr std::uint32_t kBitmapWords = kWheelSpan / 64;
+
+    /** One cycle's FIFO of event-slab indices. */
+    struct Bucket
+    {
+        std::vector<std::uint32_t> q;
+        std::uint32_t head = 0;
+    };
+
+    /** Far-level entry; seq breaks same-cycle ties on migration. */
+    struct FarEntry
     {
         Cycle when;
         std::uint64_t seq;
-        EventFn fn;
+        std::uint32_t idx;
     };
 
-    struct Later
+    struct FarLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const FarEntry &a, const FarEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -121,9 +184,108 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /**
+     * Shared body of schedule/scheduleAt. Takes the closure by rvalue
+     * reference so the public by-value entry points cost exactly one
+     * construction (into the parameter, elided) plus one relocation
+     * (into the pool slot).
+     */
+    void
+    scheduleImpl(Cycle when, EventFn &&fn)
+    {
+        ESP_ASSERT(when >= now_, "scheduling into the past");
+        const std::uint32_t idx = acquireSlot(std::move(fn));
+        ++seq_;
+        ++pending_;
+        if (when < now_ + kWheelSpan) {
+            pushBucket(when, idx);
+        } else {
+            far_.push_back(FarEntry{when, seq_ - 1, idx});
+            std::push_heap(far_.begin(), far_.end(), FarLater{});
+        }
+    }
+
+    std::uint32_t
+    acquireSlot(EventFn &&fn)
+    {
+        if (free_.empty()) {
+            pool_.push_back(std::move(fn));
+            return static_cast<std::uint32_t>(pool_.size() - 1);
+        }
+        const std::uint32_t idx = free_.back();
+        free_.pop_back();
+        pool_[idx] = std::move(fn);
+        return idx;
+    }
+
+    void
+    pushBucket(Cycle when, std::uint32_t idx)
+    {
+        const std::uint32_t b = static_cast<std::uint32_t>(when) & kMask;
+        if (buckets_[b].q.empty())
+            bitmap_[b >> 6] |= std::uint64_t{1} << (b & 63);
+        buckets_[b].q.push_back(idx);
+        ++inWheel_;
+    }
+
+    /**
+     * Earliest occupied wheel cycle. All wheel events lie in
+     * [now_, now_ + kWheelSpan), so the circular bitmap scan starting
+     * at now_'s bucket visits them in time order.
+     */
+    Cycle
+    nextWheelTime() const
+    {
+        const std::uint32_t start = static_cast<std::uint32_t>(now_) &
+                                    kMask;
+        for (std::uint32_t probed = 0; probed < kWheelSpan;) {
+            const std::uint32_t b = (start + probed) & kMask;
+            const std::uint32_t word = b >> 6;
+            // Mask off bits below b inside its word, then scan whole
+            // words; `probed` advances to each candidate's distance.
+            std::uint64_t bits = bitmap_[word] &
+                                 (~std::uint64_t{0} << (b & 63));
+            if (bits != 0) {
+                const std::uint32_t bit = static_cast<std::uint32_t>(
+                    __builtin_ctzll(bits));
+                const std::uint32_t idx = (word << 6) | bit;
+                return now_ + ((idx - start) & kMask);
+            }
+            probed += 64 - (b & 63);
+        }
+        ESP_ASSERT(false, "inWheel_ count out of sync with bitmap");
+        return now_;
+    }
+
+    /**
+     * Advance the clock to `t` and migrate far events whose time fell
+     * inside the new window. Migration happens heap-ordered, i.e. in
+     * (when, seq) order, and strictly before any callback at `t` can
+     * append to those buckets — so every bucket stays seq-sorted.
+     */
+    void
+    advanceTo(Cycle t)
+    {
+        now_ = t;
+        while (!far_.empty() && far_.front().when < now_ + kWheelSpan) {
+            std::pop_heap(far_.begin(), far_.end(), FarLater{});
+            const FarEntry e = far_.back();
+            far_.pop_back();
+            pushBucket(e.when, e.idx);
+        }
+    }
+
+    std::array<Bucket, kWheelSpan> buckets_{};
+    std::array<std::uint64_t, kBitmapWords> bitmap_{};
+    std::vector<FarEntry> far_; //!< min-heap on (when, seq)
+
+    std::vector<EventFn> pool_; //!< event slab; index-stable storage
+    std::vector<std::uint32_t> free_;
+
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t inWheel_ = 0;
     std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reference event kernel: the original binary-heap implementation,
+ * kept (in de-UB'd form — pop_heap instead of a const_cast move from
+ * priority_queue::top) as the behavioural baseline for the timing
+ * wheel. The differential tests replay identical (delay, payload)
+ * streams through both kernels and require identical firing orders;
+ * the microbenchmarks report the wheel's speedup against this queue.
+ *
+ * Not used by the simulator itself — EventQueue (the timing wheel) is
+ * the production kernel.
+ */
+
+#ifndef ESPNUCA_SIM_HEAP_EVENT_QUEUE_HPP_
+#define ESPNUCA_SIM_HEAP_EVENT_QUEUE_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace espnuca {
+
+/** Callback type of the reference kernel (the pre-wheel event type). */
+using HeapEventFn = std::function<void()>;
+
+/** Binary-heap event queue ordered by (time, insertion sequence). */
+class HeapEventQueue
+{
+  public:
+    HeapEventQueue() = default;
+    HeapEventQueue(const HeapEventQueue &) = delete;
+    HeapEventQueue &operator=(const HeapEventQueue &) = delete;
+
+    Cycle now() const { return now_; }
+
+    void
+    schedule(Cycle delay, HeapEventFn fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    void
+    scheduleAt(Cycle when, HeapEventFn fn)
+    {
+        ESP_ASSERT(when >= now_, "scheduling into the past");
+        heap_.push_back(Entry{when, seq_++, std::move(fn)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    Cycle
+    nextEventTime() const
+    {
+        ESP_ASSERT(!heap_.empty(), "no pending events");
+        return heap_.front().when;
+    }
+
+    void
+    step()
+    {
+        ESP_ASSERT(!heap_.empty(), "stepping an empty queue");
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry e = std::move(heap_.back());
+        heap_.pop_back();
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+    }
+
+    void
+    run()
+    {
+        while (!heap_.empty())
+            step();
+    }
+
+    void
+    runUntil(Cycle limit)
+    {
+        while (!heap_.empty() && heap_.front().when <= limit)
+            step();
+        if (now_ < limit && heap_.empty())
+            now_ = limit;
+    }
+
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        HeapEventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Entry> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_SIM_HEAP_EVENT_QUEUE_HPP_

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * FlatMap tests: randomized differential against std::unordered_map
+ * (the container it replaced on the coherence hot path), plus targeted
+ * erase-churn and rehash-under-load cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/rng.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), m.end());
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(FlatMap, InsertFindEraseBasics)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[7] = 70;
+    m[9] = 90;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(7), m.end());
+    EXPECT_EQ(m.find(7)->second, 70);
+    EXPECT_EQ(m.find(8), m.end());
+
+    m[7] = 71; // overwrite, not duplicate
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.find(7)->second, 71);
+
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_EQ(m.find(7), m.end());
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_FALSE(m.erase(7));
+}
+
+TEST(FlatMap, EraseByIterator)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 10; ++k)
+        m[k] = static_cast<int>(k);
+    auto it = m.find(4);
+    ASSERT_NE(it, m.end());
+    m.erase(it);
+    EXPECT_EQ(m.find(4), m.end());
+    EXPECT_EQ(m.size(), 9u);
+}
+
+TEST(FlatMap, MoveOnlyValues)
+{
+    struct MoveOnly
+    {
+        std::vector<int> v;
+        MoveOnly() = default;
+        MoveOnly(MoveOnly &&) = default;
+        MoveOnly &operator=(MoveOnly &&) = default;
+        MoveOnly(const MoveOnly &) = delete;
+        MoveOnly &operator=(const MoveOnly &) = delete;
+    };
+    FlatMap<std::uint64_t, MoveOnly> m;
+    // Enough inserts to force several rehashes of move-only payloads.
+    for (std::uint64_t k = 0; k < 200; ++k)
+        m[k].v.assign(3, static_cast<int>(k));
+    EXPECT_EQ(m.size(), 200u);
+    for (std::uint64_t k = 0; k < 200; ++k)
+        EXPECT_EQ(m.find(k)->second.v[0], static_cast<int>(k));
+}
+
+// Block-aligned addresses all hash to multiples of 64 under the
+// identity std::hash; the mixing layer must still spread them.
+TEST(FlatMap, BlockAlignedKeysDoNotCluster)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        m[k * 64] = static_cast<int>(k);
+    EXPECT_EQ(m.size(), 4096u);
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        EXPECT_EQ(m.find(k * 64)->second, static_cast<int>(k));
+    // Load factor stays in the designed band (table grew as needed).
+    EXPECT_LE(m.size() * 4, m.capacity() * 3);
+}
+
+TEST(FlatMap, EraseChurnKeepsTableBounded)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        m[k] = 1;
+    const std::size_t cap = m.capacity();
+    // Churn far more erase/insert cycles than the capacity: erased
+    // slots must be genuinely freed (backward-shift deletion leaves
+    // no dead slots) instead of growing the table.
+    for (int round = 0; round < 10000; ++round) {
+        const std::uint64_t k = 1000 + (round % 8);
+        m[k] = round;
+        m.erase(k);
+    }
+    EXPECT_EQ(m.size(), 64u);
+    EXPECT_LE(m.capacity(), cap * 2);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        EXPECT_NE(m.find(k), m.end());
+}
+
+TEST(FlatMap, IterationVisitsEachLiveEntryOnce)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m[k] = static_cast<int>(k);
+    for (std::uint64_t k = 0; k < 100; k += 2)
+        m.erase(k);
+
+    std::vector<std::uint64_t> seen;
+    for (const auto &[k, v] : m) {
+        EXPECT_EQ(v, static_cast<int>(k));
+        seen.push_back(k);
+    }
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), 50u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 2 * i + 1);
+}
+
+TEST(FlatMap, ReserveAvoidsRehash)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.reserve(1000);
+    const std::size_t cap = m.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m[k] = 1;
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+/**
+ * Differential: a random insert/overwrite/erase/find stream applied to
+ * FlatMap and std::unordered_map must agree on every query, on size,
+ * and on the full key/value set — through tombstone churn and rehashes.
+ */
+TEST(FlatMap, RandomizedDifferentialAgainstUnorderedMap)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        FlatMap<std::uint64_t, std::uint64_t> fm;
+        std::unordered_map<std::uint64_t, std::uint64_t> um;
+        Rng rng(seed);
+
+        for (int op = 0; op < 50000; ++op) {
+            // Key space small enough to guarantee collisions, erases of
+            // present keys, and reinsertions over tombstones.
+            const std::uint64_t k = rng.below(512) * 64;
+            switch (rng.below(4)) {
+              case 0:
+              case 1: { // insert / overwrite
+                  const std::uint64_t v = rng.next();
+                  fm[k] = v;
+                  um[k] = v;
+                  break;
+              }
+              case 2: { // erase
+                  EXPECT_EQ(fm.erase(k), um.erase(k) != 0);
+                  break;
+              }
+              default: { // find
+                  auto fit = fm.find(k);
+                  auto uit = um.find(k);
+                  ASSERT_EQ(fit != fm.end(), uit != um.end())
+                      << "presence mismatch for key " << k;
+                  if (uit != um.end()) {
+                      EXPECT_EQ(fit->second, uit->second);
+                  }
+                  break;
+              }
+            }
+            ASSERT_EQ(fm.size(), um.size());
+        }
+
+        // Full-content sweep: iteration count and every entry agree.
+        std::size_t visited = 0;
+        for (const auto &[k, v] : fm) {
+            auto uit = um.find(k);
+            ASSERT_NE(uit, um.end()) << "phantom key " << k;
+            EXPECT_EQ(v, uit->second);
+            ++visited;
+        }
+        EXPECT_EQ(visited, um.size());
+    }
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * InlineFn tests: inline vs heap storage decision, move semantics,
+ * capture destruction, move-only captures, return values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "common/inline_fn.hpp"
+
+namespace espnuca {
+namespace {
+
+using SmallFn = InlineFn<int(), 64>;
+
+TEST(InlineFn, EmptyAndNull)
+{
+    SmallFn f;
+    EXPECT_FALSE(f);
+    SmallFn g(nullptr);
+    EXPECT_FALSE(g);
+}
+
+TEST(InlineFn, CallsSmallLambdaInline)
+{
+    int x = 5;
+    SmallFn f([&x]() { return x * 2; });
+    static_assert(SmallFn::fitsInline<int *>());
+    EXPECT_TRUE(f);
+    EXPECT_EQ(f(), 10);
+    x = 7;
+    EXPECT_EQ(f(), 14);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeap)
+{
+    std::array<std::uint64_t, 32> big{};
+    big[0] = 1;
+    big[31] = 41;
+    auto lam = [big]() { return static_cast<int>(big[0] + big[31]); };
+    static_assert(!SmallFn::fitsInline<decltype(lam)>());
+    SmallFn f(std::move(lam));
+    EXPECT_EQ(f(), 42);
+
+    // Heap-backed targets survive moves (ownership transfer).
+    SmallFn g(std::move(f));
+    EXPECT_FALSE(f);
+    EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFn, MoveTransfersTarget)
+{
+    int calls = 0;
+    InlineFn<void(), 64> f([&calls]() { ++calls; });
+    InlineFn<void(), 64> g(std::move(f));
+    EXPECT_FALSE(f);
+    ASSERT_TRUE(g);
+    g();
+    EXPECT_EQ(calls, 1);
+
+    InlineFn<void(), 64> h;
+    h = std::move(g);
+    EXPECT_FALSE(g);
+    h();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce)
+{
+    auto counter = std::make_shared<int>(0);
+    {
+        InlineFn<void(), 64> f([counter]() { ++*counter; });
+        EXPECT_EQ(counter.use_count(), 2);
+        InlineFn<void(), 64> g(std::move(f));
+        // The moved-from shell must have released its copy.
+        EXPECT_EQ(counter.use_count(), 2);
+        g();
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+    EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFn, ResetReleasesCapture)
+{
+    auto counter = std::make_shared<int>(0);
+    InlineFn<void(), 64> f([counter]() {});
+    EXPECT_EQ(counter.use_count(), 2);
+    f.reset();
+    EXPECT_FALSE(f);
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFn, MoveOnlyCapture)
+{
+    auto p = std::make_unique<int>(99);
+    InlineFn<int(), 64> f([p = std::move(p)]() { return *p; });
+    EXPECT_EQ(f(), 99);
+    InlineFn<int(), 64> g(std::move(f));
+    EXPECT_EQ(g(), 99);
+}
+
+TEST(InlineFn, PassesArgumentsAndReturns)
+{
+    InlineFn<int(int, int), 32> add([](int a, int b) { return a + b; });
+    EXPECT_EQ(add(2, 40), 42);
+
+    // Move-only argument types are forwarded, not copied.
+    InlineFn<int(std::unique_ptr<int>), 32> deref(
+        [](std::unique_ptr<int> q) { return *q; });
+    EXPECT_EQ(deref(std::make_unique<int>(7)), 7);
+}
+
+TEST(InlineFn, SelfMoveAssignIsSafe)
+{
+    int calls = 0;
+    InlineFn<void(), 64> f([&calls]() { ++calls; });
+    InlineFn<void(), 64> &ref = f;
+    f = std::move(ref);
+    ASSERT_TRUE(f);
+    f();
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace espnuca

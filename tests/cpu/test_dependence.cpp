@@ -45,8 +45,7 @@ struct DepRig
     makeCore(std::deque<TraceOp> ops)
     {
         MemoryIssueFn fn = [this](CoreId, AccessType, Addr,
-                                  std::function<void(ServiceLevel,
-                                                     Cycle)> done) {
+                                  OpDone done) {
             ++concurrent;
             maxConcurrent = std::max(maxConcurrent, concurrent);
             eq.schedule(memLatency, [this, done = std::move(done)]() {

@@ -47,8 +47,7 @@ struct CoreRig
     makeCore(std::deque<TraceOp> ops)
     {
         MemoryIssueFn fn = [this](CoreId, AccessType, Addr,
-                                  std::function<void(ServiceLevel,
-                                                     Cycle)> done) {
+                                  OpDone done) {
             ++issued;
             ++concurrent;
             maxConcurrent = std::max(maxConcurrent, concurrent);

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Differential test of the timing-wheel EventQueue against the
+ * reference binary-heap kernel (HeapEventQueue, the pre-wheel
+ * implementation). Both queues replay identical (delay, payload)
+ * streams — including delays beyond the near window, zero delays, and
+ * events scheduled from inside callbacks — and must produce identical
+ * (payload, fire-time) sequences. runUntil boundary semantics are
+ * compared step for step as well.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/heap_event_queue.hpp"
+
+namespace espnuca {
+namespace {
+
+struct Firing
+{
+    std::uint32_t payload;
+    Cycle when;
+    bool operator==(const Firing &) const = default;
+};
+
+/** Random delay mixing near (bounded link/bank) and far (DRAM-ish). */
+Cycle
+randomDelay(Rng &rng)
+{
+    switch (rng.below(10)) {
+      case 0: return 0;                                   // same cycle
+      case 1: return EventQueue::kWheelSpan - 1;          // window edge
+      case 2: return EventQueue::kWheelSpan;              // first far
+      case 3: return rng.below(EventQueue::kWheelSpan * 8); // far
+      default: return rng.below(64);                      // typical hop
+    }
+}
+
+/**
+ * Drive one kernel with a seeded random schedule where every executed
+ * event may itself schedule more events, then return the firing log.
+ */
+template <typename Queue>
+std::vector<Firing>
+runSchedule(std::uint64_t seed, std::uint32_t initial,
+            std::uint32_t chained)
+{
+    Queue q;
+    Rng rng(seed);
+    std::vector<Firing> log;
+    std::uint32_t next_payload = 0;
+    std::uint32_t budget = chained;
+
+    // The callback re-captures everything it needs by value except the
+    // shared driver state, mirroring how protocol events chain.
+    struct Driver
+    {
+        Queue &q;
+        Rng &rng;
+        std::vector<Firing> &log;
+        std::uint32_t &next_payload;
+        std::uint32_t &budget;
+
+        void
+        fire(std::uint32_t payload)
+        {
+            log.push_back({payload, q.now()});
+            if (budget == 0)
+                return;
+            // Chain 0-2 follow-up events from inside the callback.
+            const std::uint32_t n = rng.below(3);
+            for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
+                --budget;
+                const std::uint32_t p = next_payload++;
+                q.schedule(randomDelay(rng),
+                           [this, p]() { fire(p); });
+            }
+        }
+    };
+    Driver d{q, rng, log, next_payload, budget};
+
+    for (std::uint32_t i = 0; i < initial; ++i) {
+        const std::uint32_t p = next_payload++;
+        q.schedule(randomDelay(rng), [&d, p]() { d.fire(p); });
+    }
+    q.run();
+    return log;
+}
+
+TEST(TimingWheelDifferential, RandomStreamsMatchReferenceHeap)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto wheel =
+            runSchedule<EventQueue>(seed, 64, 2000);
+        const auto heap =
+            runSchedule<HeapEventQueue>(seed, 64, 2000);
+        ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < wheel.size(); ++i) {
+            ASSERT_EQ(wheel[i], heap[i])
+                << "seed " << seed << " divergence at firing " << i
+                << ": wheel (" << wheel[i].payload << "@"
+                << wheel[i].when << ") vs heap (" << heap[i].payload
+                << "@" << heap[i].when << ")";
+        }
+    }
+}
+
+/**
+ * runUntil boundary semantics: events exactly at the limit run, later
+ * ones stay queued, and an emptied queue parks the clock at the limit.
+ * Both kernels are stepped through the same ladder of limits.
+ */
+TEST(TimingWheelDifferential, RunUntilBoundariesMatchReferenceHeap)
+{
+    for (std::uint64_t seed = 20; seed <= 23; ++seed) {
+        EventQueue wheel;
+        HeapEventQueue heap;
+        Rng rng(seed);
+        std::vector<std::uint32_t> wheel_log, heap_log;
+
+        std::vector<Cycle> times;
+        for (int i = 0; i < 300; ++i)
+            times.push_back(randomDelay(rng) * 4);
+        for (std::uint32_t i = 0; i < times.size(); ++i) {
+            wheel.scheduleAt(times[i],
+                             [&wheel_log, i]() { wheel_log.push_back(i); });
+            heap.scheduleAt(times[i],
+                            [&heap_log, i]() { heap_log.push_back(i); });
+        }
+
+        // Ladder of limits, deliberately hitting exact event times
+        // (even indices) and in-between cycles.
+        std::vector<Cycle> limits = times;
+        for (std::size_t i = 0; i < limits.size(); i += 2)
+            limits[i] += 1;
+        std::sort(limits.begin(), limits.end());
+        for (Cycle limit : limits) {
+            wheel.runUntil(limit);
+            heap.runUntil(limit);
+            ASSERT_EQ(wheel.now(), heap.now()) << "seed " << seed;
+            ASSERT_EQ(wheel.pending(), heap.pending()) << "seed " << seed;
+            ASSERT_EQ(wheel_log, heap_log) << "seed " << seed;
+        }
+        wheel.run();
+        heap.run();
+        EXPECT_EQ(wheel_log, heap_log);
+        EXPECT_EQ(wheel.executed(), heap.executed());
+
+        // Drained queues park exactly at a beyond-the-end limit.
+        const Cycle far_limit = wheel.now() + 12345;
+        wheel.runUntil(far_limit);
+        heap.runUntil(far_limit);
+        EXPECT_EQ(wheel.now(), far_limit);
+        EXPECT_EQ(wheel.now(), heap.now());
+    }
+}
+
+/** pending()/empty()/nextEventTime() agree while stepping manually. */
+TEST(TimingWheelDifferential, StepwiseAccountingMatchesReferenceHeap)
+{
+    EventQueue wheel;
+    HeapEventQueue heap;
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const Cycle d = randomDelay(rng);
+        wheel.schedule(d, []() {});
+        heap.schedule(d, []() {});
+    }
+    while (!heap.empty()) {
+        ASSERT_FALSE(wheel.empty());
+        ASSERT_EQ(wheel.nextEventTime(), heap.nextEventTime());
+        ASSERT_EQ(wheel.pending(), heap.pending());
+        wheel.step();
+        heap.step();
+        ASSERT_EQ(wheel.now(), heap.now());
+    }
+    EXPECT_TRUE(wheel.empty());
+}
+
+} // namespace
+} // namespace espnuca

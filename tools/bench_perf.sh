@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Performance baseline: event-kernel microbenchmarks plus one
+# end-to-end figure bench, distilled into BENCH_core.json so perf
+# regressions show up in review diffs.
+#
+#   tools/bench_perf.sh [output.json]
+#
+# Runs (Release build):
+#   - bench/micro_components  (google-benchmark, JSON format): the
+#     event-kernel pair (timing wheel vs the retired heap kernel) and
+#     the MSHR-pattern hash-map pair (FlatMap vs std::unordered_map),
+#   - bench/fig07_onchip_offchip --json results/fig07_onchip_offchip.json
+#     as the end-to-end smoke (wall time recorded).
+#
+# Output schema (BENCH_core.json):
+#   { "event_kernel": { "wheel": {events_per_sec, ns_per_event},
+#                       "heap_baseline": {...}, "speedup" },
+#     "map_churn":    { "flat_map": {...}, "unordered_baseline": {...},
+#                       "speedup" },
+#     "fig07": { "wall_seconds", "json_path" } }
+#
+# Environment: ESPNUCA_OPS / ESPNUCA_RUNS / ESPNUCA_JOBS thread through
+# to fig07 as in every figure bench.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_core.json}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j --target micro_components \
+    fig07_onchip_offchip > /dev/null
+
+echo "== bench_perf: micro_components (event kernel + maps) =="
+MICRO_JSON=$(mktemp)
+./build-release/bench/micro_components \
+    --benchmark_filter='EventKernel|MapChurn' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$MICRO_JSON"
+
+echo "== bench_perf: fig07_onchip_offchip --json =="
+mkdir -p results
+FIG07_JSON=results/fig07_onchip_offchip.json
+FIG07_START=$(date +%s.%N)
+./build-release/bench/fig07_onchip_offchip --json "$FIG07_JSON" \
+    > /dev/null
+FIG07_END=$(date +%s.%N)
+
+python3 - "$MICRO_JSON" "$OUT" "$FIG07_JSON" \
+    "$FIG07_START" "$FIG07_END" <<'PY'
+import json, sys
+
+micro_path, out_path, fig07_path, t0, t1 = sys.argv[1:6]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+def mean_metrics(name):
+    for b in micro["benchmarks"]:
+        if b["name"] == f"{name}_mean":
+            eps = b["items_per_second"]
+            return {"events_per_sec": round(eps),
+                    "ns_per_event": round(1e9 / eps, 2)}
+    raise SystemExit(f"missing benchmark aggregate: {name}_mean")
+
+wheel = mean_metrics("BM_EventKernelWheel")
+heap = mean_metrics("BM_EventKernelHeapBaseline")
+flat = mean_metrics("BM_FlatMapChurn")
+umap = mean_metrics("BM_UnorderedMapChurnBaseline")
+
+report = {
+    "event_kernel": {
+        "wheel": wheel,
+        "heap_baseline": heap,
+        "speedup": round(wheel["events_per_sec"] /
+                         heap["events_per_sec"], 2),
+    },
+    "map_churn": {
+        "flat_map": flat,
+        "unordered_baseline": umap,
+        "speedup": round(flat["events_per_sec"] /
+                         umap["events_per_sec"], 2),
+    },
+    "fig07": {
+        "wall_seconds": round(float(t1) - float(t0), 2),
+        "json_path": fig07_path,
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+PY
+rm -f "$MICRO_JSON"
+echo "== bench_perf: wrote $OUT =="

@@ -53,10 +53,12 @@ class Dnuca : public L2Org
         const unsigned pos_bits = exactLog2(cfg_.banksPerCore());
         const CoreId tile = column(a) + (bottom_row ? cfg_.numCores / 2
                                                     : 0);
-        return tile * cfg_.banksPerCore() +
-               static_cast<BankId>(
-                   bits(a, cfg_.blockOffsetBits() + col_bits,
-                        pos_bits));
+        // remap(): a dead bank's bankset member folds onto its fault
+        // remap target, like every other organization's bank functions.
+        return map_.remap(tile * cfg_.banksPerCore() +
+                          static_cast<BankId>(
+                              bits(a, cfg_.blockOffsetBits() + col_bits,
+                                   pos_bits)));
     }
 
     /** The bankset bank on the requesting core's row. */

@@ -15,6 +15,9 @@
 #ifndef ESPNUCA_CACHE_ADDRESS_MAP_HPP_
 #define ESPNUCA_CACHE_ADDRESS_MAP_HPP_
 
+#include <utility>
+#include <vector>
+
 #include "common/bitops.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
@@ -47,7 +50,7 @@ class AddressMap
     BankId
     sharedBank(Addr a) const
     {
-        return static_cast<BankId>(bits(a, bBits_, nBits_));
+        return remap(static_cast<BankId>(bits(a, bBits_, nBits_)));
     }
 
     /** Set index under the shared mapping. */
@@ -72,7 +75,7 @@ class AddressMap
     {
         const auto local = static_cast<BankId>(
             bits(a, bBits_, nBits_ - pBits_));
-        return core * banksPerCore_ + local;
+        return remap(core * banksPerCore_ + local);
     }
 
     /** Set index under the private mapping. */
@@ -110,6 +113,35 @@ class AddressMap
     std::uint32_t numBanks() const { return numBanks_; }
     std::uint32_t banksPerCore() const { return banksPerCore_; }
 
+    // -- Fault model ---------------------------------------------------
+
+    /**
+     * Bank-outage remap (fault injection): the physical bank actually
+     * serving a logical bank id. Identity until setBankRemap installs a
+     * table. Sets and tags are untouched — the bank arrays store full
+     * block addresses, so folding two logical banks onto one physical
+     * bank cannot alias distinct blocks.
+     */
+    BankId
+    remap(BankId b) const
+    {
+        return remap_.empty() ? b : remap_[b];
+    }
+
+    /** Install a bank remap table (size numBanks, live targets only). */
+    void
+    setBankRemap(std::vector<BankId> table)
+    {
+        ESP_ASSERT(table.size() == numBanks_,
+                   "remap table must cover every bank");
+        for (BankId t : table)
+            ESP_ASSERT(t < numBanks_, "remap target out of range");
+        remap_ = std::move(table);
+    }
+
+    /** True when a bank remap is active. */
+    bool remapped() const { return !remap_.empty(); }
+
   private:
     unsigned bBits_;   //!< B: byte-in-block bits
     unsigned nBits_;   //!< n: shared bank-select bits
@@ -118,6 +150,7 @@ class AddressMap
     std::uint32_t banksPerCore_;
     std::uint32_t numBanks_;
     std::uint32_t memControllers_;
+    std::vector<BankId> remap_; //!< empty = identity (healthy hardware)
 };
 
 } // namespace espnuca

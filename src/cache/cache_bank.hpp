@@ -197,6 +197,27 @@ class CacheBank
         return ctx;
     }
 
+    // -- Fault model ---------------------------------------------------
+
+    /**
+     * Fence off the masked ways in every set (fault injection; applied
+     * before the bank holds data). A fully masked bank refuses every
+     * insert, which is the belt-and-braces behaviour for dead banks the
+     * address remap should already keep traffic away from.
+     */
+    void
+    disableWays(std::uint64_t mask)
+    {
+        for (auto &s : sets_)
+            s.disableWays(mask);
+        disabledWays_ = sets_.empty() ? 0
+                                      : sets_.front().numWays() -
+                                            sets_.front().enabledWays();
+    }
+
+    /** Ways disabled per set by fault injection. */
+    std::uint32_t disabledWays() const { return disabledWays_; }
+
     /** Monitor access (null for non-ESP banks). */
     HitRateMonitor *monitor() { return monitor_.get(); }
     const HitRateMonitor *monitor() const { return monitor_.get(); }
@@ -248,6 +269,7 @@ class CacheBank
     std::vector<CacheSet> sets_;
     std::unique_ptr<HitRateMonitor> monitor_;
 
+    std::uint32_t disabledWays_ = 0;
     Cycle freeAt_ = 0;
     Cycle waitCycles_ = 0;
     std::uint64_t accesses_ = 0;

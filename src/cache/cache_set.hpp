@@ -110,14 +110,52 @@ class CacheSet
         stamp_[static_cast<std::size_t>(w)] = --lo_;
     }
 
-    /** Any invalid way, or kNoWay. */
+    /** Any invalid (and not fault-disabled) way, or kNoWay. */
     int
     invalidWay() const
     {
         for (std::uint32_t i = 0; i < ways_.size(); ++i)
-            if (!ways_[i].valid)
+            if (!ways_[i].valid && !wayDisabled(static_cast<int>(i)))
                 return static_cast<int>(i);
         return kNoWay;
+    }
+
+    // -- Fault model ---------------------------------------------------
+
+    /**
+     * Fence off the masked ways (fault injection). Disabled ways are
+     * permanently invalid: invalidWay() skips them, and since every
+     * other helper only considers valid ways they can never be found,
+     * touched, or chosen as victims. Must be applied before the set
+     * holds data (injection happens at system assembly).
+     */
+    void
+    disableWays(std::uint64_t mask)
+    {
+        mask &= ways_.size() >= 64
+                    ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << ways_.size()) - 1;
+        for (std::uint32_t i = 0; i < ways_.size(); ++i)
+            if ((mask >> i) & 1u)
+                ESP_ASSERT(!ways_[i].valid,
+                           "disabling a way that holds data");
+        disabledMask_ |= mask;
+    }
+
+    /** True when way `w` has been fenced off by fault injection. */
+    bool
+    wayDisabled(int w) const
+    {
+        return (disabledMask_ >> static_cast<std::uint32_t>(w)) & 1u;
+    }
+
+    /** Ways still usable after fault injection. */
+    std::uint32_t
+    enabledWays() const
+    {
+        return numWays() -
+               static_cast<std::uint32_t>(
+                   __builtin_popcountll(disabledMask_));
     }
 
     /** LRU-most valid way whose class is in `mask`, or kNoWay. */
@@ -210,6 +248,7 @@ class CacheSet
 
   private:
     std::vector<BlockMeta> ways_;
+    std::uint64_t disabledMask_ = 0;  //!< fault-disabled ways (bit per way)
     std::vector<std::int64_t> stamp_; //!< LRU age, larger = more recent
     std::int64_t hi_ = 0;             //!< last MRU stamp handed out
     std::int64_t lo_ = 0;             //!< next LRU stamp is lo_ - 1

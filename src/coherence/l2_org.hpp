@@ -90,6 +90,7 @@ class L2Org
     const CacheBank &bank(BankId b) const { return *banks_.at(b); }
 
     const AddressMap &map() const { return map_; }
+    AddressMap &map() { return map_; } //!< fault injection installs remaps
 
     /**
      * Locate a copy of `a` in a bank, whichever mapping it was stored

@@ -6,6 +6,8 @@
 #include "coherence/protocol.hpp"
 
 #include <algorithm>
+#include <ostream>
+#include <utility>
 
 #include "coherence/l2_org.hpp"
 #include "common/log.hpp"
@@ -522,6 +524,14 @@ Protocol::finish(Transaction *tx, Cycle completion)
 {
     completion = std::max(completion, eq_.now());
 
+    // Fault injection: swallow this transaction's completion event.
+    // The transaction stays in flight and its block lock never drains —
+    // the canonical protocol stall the watchdog must detect.
+    if (dropTxId_ != 0 && tx->id == dropTxId_) {
+        ++droppedCompletions_;
+        return;
+    }
+
     eq_.scheduleAt(completion, [this, id = tx->id, completion]() {
         auto it = live_.find(id);
         ESP_ASSERT(it != live_.end(), "finishing a dead transaction");
@@ -554,8 +564,44 @@ Protocol::finish(Transaction *tx, Cycle completion)
         const Addr a = tx->addr;
         live_.erase(it);
         txSlab_.release(tx); // slot may be reused by the next access
+        ++completions_;      // watchdog forward-progress signal
         releaseLock(a);
     });
+}
+
+void
+Protocol::dumpDiagnostics(std::ostream &os) const
+{
+    os << "protocol state: " << live_.size() << " transaction(s) in flight, "
+       << locks_.size() << " block lock(s) held, " << mshrs_.size()
+       << " MSHR(s) allocated, " << completions_ << " completed, "
+       << droppedCompletions_ << " completion(s) dropped by fault plan\n";
+
+    // Sort by id for a deterministic dump regardless of hash order.
+    std::vector<const Transaction *> txs;
+    txs.reserve(live_.size());
+    for (const auto &[id, tx] : live_)
+        txs.push_back(tx);
+    std::sort(txs.begin(), txs.end(),
+              [](const Transaction *a, const Transaction *b) {
+                  return a->id < b->id;
+              });
+    for (const Transaction *tx : txs) {
+        os << "  tx " << tx->id << ": core " << tx->core << " "
+           << (tx->isWrite ? "write" : "read") << " addr 0x" << std::hex
+           << tx->addr << std::dec << " issued @" << tx->issueTime
+           << " waiters " << tx->waiters.size()
+           << (tx->memStarted ? " mem-started" : "") << "\n";
+    }
+
+    std::vector<std::pair<Addr, std::size_t>> depths;
+    depths.reserve(locks_.size());
+    for (const auto &[a, q] : locks_)
+        depths.emplace_back(a, q.size());
+    std::sort(depths.begin(), depths.end());
+    for (const auto &[a, d] : depths)
+        os << "  lock 0x" << std::hex << a << std::dec << ": queue depth "
+           << d << "\n";
 }
 
 void

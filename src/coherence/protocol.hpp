@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "cache/address_map.hpp"
@@ -138,6 +139,7 @@ class Protocol
     Mesh &mesh() { return mesh_; }
     const Topology &topo() const { return topo_; }
     const AddressMap &map() const { return map_; }
+    AddressMap &map() { return map_; } //!< fault injection installs remaps
     Directory &dir() { return dir_; }
     const SystemConfig &config() const { return cfg_; }
     L1Cache &l1(L1Id id) { return l1s_[id]; }
@@ -180,6 +182,28 @@ class Protocol
 
     /** Number of transactions still in flight (drain check). */
     std::size_t inFlight() const { return live_.size(); }
+
+    /** Transactions completed since construction (watchdog progress). */
+    std::uint64_t completions() const { return completions_; }
+
+    // -- Fault model ----------------------------------------------------
+
+    /**
+     * Drop the completion event of transaction `id` (fault injection /
+     * watchdog testing): the transaction stays in flight forever, its
+     * lock queue never drains — exactly the stall signature the
+     * watchdog must convert into a clean failure.
+     */
+    void setDropCompletion(std::uint64_t id) { dropTxId_ = id; }
+
+    /** Completions swallowed by setDropCompletion. */
+    std::uint64_t droppedCompletions() const { return droppedCompletions_; }
+
+    /**
+     * Structured diagnostic dump for watchdog failures: outstanding
+     * transactions (sorted by id), lock-queue depths, MSHR count.
+     */
+    void dumpDiagnostics(std::ostream &os) const;
 
     /**
      * Zero the statistic counters (warmup boundary). Cache and
@@ -302,6 +326,12 @@ class Protocol
     std::uint64_t writebacks_ = 0;
     std::uint64_t invalsSent_ = 0;
     std::uint64_t privatizations_ = 0;
+
+    // Fault model / watchdog hooks (not reset at the warmup boundary:
+    // completions_ is a monotonic progress signal, not a statistic).
+    std::uint64_t completions_ = 0;
+    std::uint64_t dropTxId_ = 0; //!< 0 = no completion is dropped
+    std::uint64_t droppedCompletions_ = 0;
 };
 
 } // namespace espnuca

@@ -55,6 +55,10 @@ struct SystemConfig
     Cycle memCyclePerAccess = 16;       //!< bandwidth: 1 block / 16 cycles
     std::uint32_t memControllers = 4;   //!< on the mesh's central row
 
+    // -- Robustness (0 = disabled) ------------------------------------
+    Cycle watchdogStallCycles = 0; //!< fail after N cycles w/o progress
+    Cycle watchdogMaxCycles = 0;   //!< absolute simulated-cycle budget
+
     // -- ESP-NUCA monitor (paper Section 5.2 chosen values) -----------
     std::uint32_t emaBits = 8;          //!< b: EMA fixed-point bits
     std::uint32_t emaShift = 1;         //!< a: alpha = 2^-a (N = 3)

@@ -14,6 +14,20 @@
 namespace espnuca {
 
 /**
+ * One SplitMix64 step as a standalone mixer: derive a decorrelated
+ * stream from a seed (e.g. the harness's per-retry seed derivation)
+ * without constructing a full generator.
+ */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
  * xoshiro256** by Blackman & Vigna (public domain reference algorithm),
  * seeded through SplitMix64 so any 64-bit seed yields a good state.
  */

@@ -109,7 +109,16 @@ class ThreadPool
                 job = std::move(queue_.front());
                 queue_.pop();
             }
-            job(); // packaged_task captures any exception
+            // submit() routes exceptions into the packaged_task's
+            // future, but workerLoop is also the pool's last line of
+            // defence: a job enqueued some other way (or a throwing
+            // task destructor) must not std::terminate and take every
+            // queued experiment down with it. Swallowing here is safe —
+            // result delivery is the future's job, not the worker's.
+            try {
+                job();
+            } catch (...) {
+            }
         }
     }
 

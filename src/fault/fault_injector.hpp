@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Applies a validated FaultPlan to an assembled system: bank-outage
+ * remap tables on both address maps (protocol and L2 organization),
+ * way-disable masks on the bank arrays, link-degradation windows on the
+ * mesh, and the dropped-completion knob on the protocol. Injection
+ * happens once, before any core issues a reference, so the degraded
+ * hardware is what every transaction ever sees.
+ */
+
+#ifndef ESPNUCA_FAULT_FAULT_INJECTOR_HPP_
+#define ESPNUCA_FAULT_FAULT_INJECTOR_HPP_
+
+#include <string>
+#include <vector>
+
+#include "coherence/l2_org.hpp"
+#include "coherence/protocol.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/mesh.hpp"
+#include "net/topology.hpp"
+
+namespace espnuca {
+
+/** Summary of what a plan actually injected (stats / logging). */
+struct InjectionReport
+{
+    std::uint32_t deadBanks = 0;
+    std::uint32_t disabledWays = 0; //!< way*bank products disabled
+    std::uint32_t degradedLinks = 0;
+};
+
+/**
+ * Inject `plan` into a fully constructed (but not yet started) system.
+ * Throws FaultPlanError when the plan is inconsistent with the
+ * geometry. Deterministic: the same plan against the same configuration
+ * always degrades the same hardware.
+ */
+inline InjectionReport
+applyFaultPlan(const FaultPlan &plan, const SystemConfig &cfg,
+               const Topology &topo, L2Org &org, Protocol &proto,
+               Mesh &mesh)
+{
+    plan.validate(cfg);
+    InjectionReport report;
+
+    // Bank outages: remap both address interpretations around the dead
+    // banks. CacheSet stores full block addresses (not truncated tags),
+    // so folding two original bank ids onto one physical bank cannot
+    // alias distinct blocks.
+    const std::vector<BankId> dead = plan.resolveDeadBanks(cfg);
+    if (!dead.empty()) {
+        const std::vector<BankId> table = plan.bankRemap(cfg);
+        org.map().setBankRemap(table);
+        proto.map().setBankRemap(table);
+        report.deadBanks = static_cast<std::uint32_t>(dead.size());
+    }
+
+    // Way disables (dead banks get a full mask as a second fence: even
+    // a stray probe or insert against one now refuses cleanly).
+    const std::vector<std::uint64_t> masks = plan.resolveWayMasks(cfg);
+    for (BankId b = 0; b < cfg.l2Banks; ++b) {
+        if (masks[b] == 0)
+            continue;
+        org.bank(b).disableWays(masks[b]);
+        report.disabledWays += org.bank(b).disabledWays();
+    }
+
+    // Timed link-degradation windows.
+    for (const FaultPlan::LinkFault &l : plan.linkFaults) {
+        if (l.node >= topo.numNodes())
+            throw FaultPlanError("link node " + std::to_string(l.node) +
+                                 " out of range (mesh has " +
+                                 std::to_string(topo.numNodes()) +
+                                 " nodes)");
+        mesh.linkAt(l.node, static_cast<Mesh::Dir>(l.dir))
+            .degrade(l.from, l.until, l.factor);
+        ++report.degradedLinks;
+    }
+
+    // Machinery faults: a deterministically dropped completion, used to
+    // prove the watchdog converts a protocol stall into a clean failure.
+    if (plan.dropTransaction != 0)
+        proto.setDropCompletion(plan.dropTransaction);
+
+    return report;
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_FAULT_FAULT_INJECTOR_HPP_

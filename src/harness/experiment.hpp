@@ -15,6 +15,8 @@
 #ifndef ESPNUCA_HARNESS_EXPERIMENT_HPP_
 #define ESPNUCA_HARNESS_EXPERIMENT_HPP_
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -22,14 +24,26 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/fault_plan.hpp"
 #include "harness/system.hpp"
 #include "stats/running_stats.hpp"
 
 namespace espnuca {
+
+/** A seeded run that failed every attempt (crash-isolated harness). */
+struct RunFailure
+{
+    std::uint32_t runIndex = 0; //!< repetition r within the point
+    std::uint64_t seed = 0;     //!< seed of the final failed attempt
+    std::uint32_t attempts = 0; //!< attempts consumed (>= 1)
+    std::string error;          //!< what() of the final failure
+};
 
 /** Aggregated outcome of several seeded runs of one data point. */
 struct DataPoint
@@ -45,6 +59,7 @@ struct DataPoint
                static_cast<std::size_t>(ServiceLevel::kNumLevels)>
         levelContribution;
     RunResult lastRun; //!< one representative run (diagnostics)
+    std::vector<RunFailure> failures; //!< runs that exhausted retries
 };
 
 /** Experiment configuration shared by the benches. */
@@ -56,6 +71,11 @@ struct ExperimentConfig
     std::uint64_t baseSeed = 12345;
     double warmupFraction = 0.5; //!< cache warmup before stats start
     std::uint32_t jobs = 0;      //!< worker threads; 0 = auto
+
+    // -- Fault isolation ----------------------------------------------
+    std::string faultPlan;          //!< FaultPlan::parse spec ("" = none)
+    std::uint32_t maxAttempts = 2;  //!< tries per run before PointFailure
+    std::uint32_t retryBackoffMs = 0; //!< wall-clock pause between tries
 
     /**
      * Benches honor three environment knobs so the default sweep over
@@ -94,6 +114,23 @@ struct ExperimentConfig
     {
         return baseSeed + r * 7919;
     }
+
+    /**
+     * Seed of attempt `attempt` of repetition `r`. Attempt 0 is exactly
+     * the legacy seedOf(r) — a run that succeeds first try is
+     * bit-identical whether or not retries are enabled. Retries draw a
+     * fresh SplitMix64-derived stream so a seed-correlated crash is not
+     * simply replayed, while staying a pure function of (baseSeed, r,
+     * attempt) for reproducibility.
+     */
+    std::uint64_t
+    seedOf(std::uint32_t r, std::uint32_t attempt) const
+    {
+        const std::uint64_t base = seedOf(r);
+        return attempt == 0
+            ? base
+            : splitmix64(base ^ (0x9E3779B97F4A7C15ULL * attempt));
+    }
 };
 
 /**
@@ -121,18 +158,99 @@ foldRuns(const std::string &arch, const std::string &workload,
     return p;
 }
 
+/** Outcome of one crash-isolated seeded run: a result or a failure. */
+struct RunOutcome
+{
+    std::optional<RunResult> result; //!< engaged on success
+    RunFailure failure;              //!< meaningful when !result
+};
+
+/**
+ * One seeded run with fault isolation: a throwing or watchdog-tripped
+ * attempt is retried (bounded backoff, fresh seed-derived stream) up to
+ * cfg.maxAttempts times, then reported as a structured RunFailure so
+ * the rest of the experiment matrix completes. Never throws — every
+ * failure mode becomes data. Attempt 0 uses the legacy seedOf(r), so
+ * successful runs are bit-identical to the pre-retry harness.
+ */
+inline RunOutcome
+attemptRun(const ExperimentConfig &cfg, const std::string &arch,
+           const std::string &workload, std::uint32_t r)
+{
+    RunOutcome out;
+    std::optional<FaultPlan> plan;
+    try {
+        if (!cfg.faultPlan.empty())
+            plan = FaultPlan::parse(cfg.faultPlan);
+    } catch (const std::exception &e) {
+        out.failure = RunFailure{r, cfg.seedOf(r), 0, e.what()};
+        return out;
+    }
+    const std::uint32_t tries = cfg.maxAttempts == 0 ? 1 : cfg.maxAttempts;
+    for (std::uint32_t a = 0; a < tries; ++a) {
+        if (a > 0 && cfg.retryBackoffMs > 0) {
+            // Bounded exponential backoff: backoff * 2^(a-1), <= 1 s.
+            const std::uint64_t ms =
+                std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(cfg.retryBackoffMs)
+                        << (a - 1),
+                    1000);
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+        const std::uint64_t seed = cfg.seedOf(r, a);
+        try {
+            out.result = simulate(cfg.system, arch, workload,
+                                  cfg.opsPerCore, seed,
+                                  cfg.warmupFraction,
+                                  plan ? &*plan : nullptr);
+            return out;
+        } catch (const std::exception &e) {
+            out.failure = RunFailure{r, seed, a + 1, e.what()};
+        }
+    }
+    return out;
+}
+
+/**
+ * Fold crash-isolated outcomes into a data point: successes aggregate
+ * into the statistics (in the order given — keep it the seed order),
+ * exhausted runs land in DataPoint::failures.
+ */
+inline DataPoint
+foldOutcomes(const std::string &arch, const std::string &workload,
+             const std::vector<RunOutcome> &outcomes)
+{
+    DataPoint p;
+    p.arch = arch;
+    p.workload = workload;
+    for (const RunOutcome &o : outcomes) {
+        if (!o.result) {
+            p.failures.push_back(o.failure);
+            continue;
+        }
+        const RunResult &res = *o.result;
+        p.throughput.record(res.throughput);
+        p.avgIpc.record(res.avgIpc);
+        p.avgAccessTime.record(res.avgAccessTime);
+        p.onChipLatency.record(res.onChipLatency);
+        p.offChip.record(static_cast<double>(res.offChipAccesses));
+        for (std::size_t i = 0; i < p.levelContribution.size(); ++i)
+            p.levelContribution[i].record(res.levelContribution[i]);
+        p.lastRun = res;
+    }
+    return p;
+}
+
 /** Run one data point over the configured seeds, serially. */
 inline DataPoint
 runPoint(const ExperimentConfig &cfg, const std::string &arch,
          const std::string &workload)
 {
-    std::vector<RunResult> runs;
-    runs.reserve(cfg.runs);
+    std::vector<RunOutcome> outs;
+    outs.reserve(cfg.runs);
     for (std::uint32_t r = 0; r < cfg.runs; ++r)
-        runs.push_back(simulate(cfg.system, arch, workload,
-                                cfg.opsPerCore, cfg.seedOf(r),
-                                cfg.warmupFraction));
-    return foldRuns(arch, workload, runs);
+        outs.push_back(attemptRun(cfg, arch, workload, r));
+    return foldOutcomes(arch, workload, outs);
 }
 
 /**
@@ -156,23 +274,19 @@ runPointParallel(const ExperimentConfig &cfg, const std::string &arch,
         owned.emplace(jobs);
         pool = &*owned;
     }
-    std::vector<std::future<RunResult>> futs;
+    std::vector<std::future<RunOutcome>> futs;
     futs.reserve(cfg.runs);
-    const SystemConfig system = cfg.system;
+    const ExperimentConfig copy = cfg; // workers outlive caller scope
     for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-        const std::uint64_t seed = cfg.seedOf(r);
-        futs.push_back(pool->submit(
-            [system, arch, workload, ops = cfg.opsPerCore, seed,
-             warmup = cfg.warmupFraction]() {
-                return simulate(system, arch, workload, ops, seed,
-                                warmup);
-            }));
+        futs.push_back(pool->submit([copy, arch, workload, r]() {
+            return attemptRun(copy, arch, workload, r);
+        }));
     }
-    std::vector<RunResult> runs;
-    runs.reserve(cfg.runs);
+    std::vector<RunOutcome> outs;
+    outs.reserve(cfg.runs);
     for (auto &f : futs)
-        runs.push_back(f.get()); // seed order, rethrows task errors
-    return foldRuns(arch, workload, runs);
+        outs.push_back(f.get()); // seed order; attemptRun never throws
+    return foldOutcomes(arch, workload, outs);
 }
 
 /**
@@ -228,22 +342,21 @@ class ExperimentMatrix
             owned.emplace(jobs);
             pool = &*owned;
         }
-        // Fan out: one task per (point, seed); harvest per point in
-        // seed order. Serial fallback runs the same loop inline.
-        std::vector<std::vector<std::future<RunResult>>> futs;
+        // Fan out: one crash-isolated task per (point, seed); harvest
+        // per point in seed order. A poisoned point records failures
+        // while every other point completes. Serial fallback runs the
+        // same loop inline.
+        std::vector<std::vector<std::future<RunOutcome>>> futs;
         if (jobs > 1) {
             futs.resize(entries_.size());
             for (std::size_t e = 0; e < entries_.size(); ++e) {
                 const Entry &en = entries_[e];
                 futs[e].reserve(en.cfg.runs);
                 for (std::uint32_t r = 0; r < en.cfg.runs; ++r) {
-                    const std::uint64_t seed = en.cfg.seedOf(r);
                     futs[e].push_back(pool->submit(
-                        [system = en.cfg.system, arch = en.arch,
-                         workload = en.workload, ops = en.cfg.opsPerCore,
-                         seed, warmup = en.cfg.warmupFraction]() {
-                            return simulate(system, arch, workload, ops,
-                                            seed, warmup);
+                        [cfg = en.cfg, arch = en.arch,
+                         workload = en.workload, r]() {
+                            return attemptRun(cfg, arch, workload, r);
                         }));
                 }
             }
@@ -251,18 +364,17 @@ class ExperimentMatrix
         points_.reserve(entries_.size());
         for (std::size_t e = 0; e < entries_.size(); ++e) {
             const Entry &en = entries_[e];
-            std::vector<RunResult> runs;
-            runs.reserve(en.cfg.runs);
+            std::vector<RunOutcome> outs;
+            outs.reserve(en.cfg.runs);
             for (std::uint32_t r = 0; r < en.cfg.runs; ++r) {
                 if (jobs > 1)
-                    runs.push_back(futs[e][r].get());
+                    outs.push_back(futs[e][r].get());
                 else
-                    runs.push_back(simulate(
-                        en.cfg.system, en.arch, en.workload,
-                        en.cfg.opsPerCore, en.cfg.seedOf(r),
-                        en.cfg.warmupFraction));
+                    outs.push_back(
+                        attemptRun(en.cfg, en.arch, en.workload, r));
             }
-            points_.push_back(foldRuns(en.arch, en.workload, runs));
+            points_.push_back(
+                foldOutcomes(en.arch, en.workload, outs));
         }
     }
 

@@ -86,6 +86,21 @@ writePointJson(JsonWriter &w, const DataPoint &p)
         stat(toString(static_cast<ServiceLevel>(i)),
              p.levelContribution[i]);
     w.endObject();
+    // Crash-isolated runs that exhausted their retry budget. Emitted
+    // only when present, so healthy documents are byte-identical to the
+    // pre-fault-isolation schema.
+    if (!p.failures.empty()) {
+        w.key("failures").beginArray();
+        for (const RunFailure &f : p.failures) {
+            w.beginObject();
+            w.field("run", static_cast<std::uint64_t>(f.runIndex));
+            w.field("seed", f.seed);
+            w.field("attempts", static_cast<std::uint64_t>(f.attempts));
+            w.field("error", f.error);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 }
 

@@ -11,6 +11,7 @@
 #include <array>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,9 @@
 #include "stats/stats_registry.hpp"
 #include "coherence/protocol.hpp"
 #include "cpu/trace_core.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/watchdog.hpp"
 #include "workload/presets.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -66,7 +70,7 @@ class System
      */
     System(const SystemConfig &cfg, const std::string &arch_name,
            const Workload &wl, std::uint64_t seed,
-           double warmup_fraction = 0.0)
+           double warmup_fraction = 0.0, const FaultPlan *fault = nullptr)
         : cfg_(cfg), topo_(cfg), eq_(), mesh_(topo_, eq_),
           org_(makeArch(arch_name, cfg, seed)),
           proto_(cfg, topo_, mesh_, eq_, *org_), archName_(arch_name),
@@ -75,6 +79,7 @@ class System
         ESP_ASSERT(cfg.valid(), "inconsistent system configuration");
         ESP_ASSERT(wl.cores.size() == cfg.numCores,
                    "workload core count mismatch");
+        setupFault(fault);
         std::uint64_t total_ops = 0;
         for (const auto &p : wl.cores)
             total_ops += p.ops;
@@ -112,7 +117,7 @@ class System
            const std::string &workload_name,
            std::vector<std::unique_ptr<TraceSource>> sources,
            std::uint64_t seed, double warmup_fraction = 0.0,
-           std::uint64_t total_ops = 0)
+           std::uint64_t total_ops = 0, const FaultPlan *fault = nullptr)
         : cfg_(cfg), topo_(cfg), eq_(), mesh_(topo_, eq_),
           org_(makeArch(arch_name, cfg, seed)),
           proto_(cfg, topo_, mesh_, eq_, *org_), archName_(arch_name),
@@ -121,6 +126,7 @@ class System
         ESP_ASSERT(cfg.valid(), "inconsistent system configuration");
         ESP_ASSERT(sources.size() == cfg.numCores,
                    "need one source slot per core");
+        setupFault(fault);
         warmupThreshold_ = static_cast<std::uint64_t>(
             warmup_fraction * static_cast<double>(total_ops));
         MemoryIssueFn issue = [this](CoreId c, AccessType t, Addr a,
@@ -156,12 +162,24 @@ class System
                 core->start();
     }
 
-    /** Execute to completion and harvest the metrics. */
+    /**
+     * Execute to completion and harvest the metrics.
+     *
+     * Throws WatchdogError instead of hanging or aborting when the
+     * protocol stops making forward progress (stuck in-flight
+     * transactions) or when the event queue drains with transactions
+     * still outstanding — both carry a structured diagnostic dump so
+     * the harness can record the failure and move on.
+     */
     RunResult
     run()
     {
         startCores();
+        if (watchdog_ && watchdog_->enabled())
+            watchdog_->arm();
         eq_.run();
+        if (watchdog_)
+            watchdog_->checkDrained();
         ESP_ASSERT(proto_.inFlight() == 0,
                    "transactions still in flight after drain");
 
@@ -256,9 +274,21 @@ class System
             reg.counter(base + ".count").inc(ls.count);
             reg.counter(base + ".cycles").inc(ls.totalLatency);
         }
+        reg.counter("proto.completions").inc(proto_.completions());
+        reg.counter("proto.dropped_completions")
+            .inc(proto_.droppedCompletions());
         reg.counter("mesh.messages").inc(mesh_.messagesSent());
         reg.counter("mesh.flits").inc(mesh_.totalFlits());
         reg.counter("mesh.link_wait").inc(mesh_.totalLinkWait());
+        reg.counter("mesh.link_intervals").inc(mesh_.totalIntervals());
+        reg.counter("mesh.link_peak_intervals").inc(mesh_.peakIntervals());
+        reg.counter("mesh.link_compactions")
+            .inc(mesh_.totalCompactions());
+        reg.counter("mesh.degraded_cycles")
+            .inc(mesh_.totalDegradedCycles());
+        reg.counter("fault.dead_banks").inc(injection_.deadBanks);
+        reg.counter("fault.disabled_ways").inc(injection_.disabledWays);
+        reg.counter("fault.degraded_links").inc(injection_.degradedLinks);
         for (std::uint32_t m = 0; m < cfg_.memControllers; ++m) {
             const std::string base = "mc." + std::to_string(m);
             reg.counter(base + ".accesses")
@@ -294,8 +324,43 @@ class System
     EventQueue &eq() { return eq_; }
     Mesh &mesh() { return mesh_; }
     const Topology &topo() const { return topo_; }
+    const InjectionReport &injection() const { return injection_; }
+    Watchdog *watchdog() { return watchdog_.get(); }
+
+    /** Structured diagnostic snapshot (watchdog failure payload). */
+    std::string
+    diagnosticDump() const
+    {
+        std::ostringstream os;
+        os << "system: arch=" << archName_ << " workload=" << workloadName_
+           << " now=" << eq_.now() << " pending=" << eq_.pending()
+           << " executed=" << eq_.executed() << "\n";
+        proto_.dumpDiagnostics(os);
+        return os.str();
+    }
 
   private:
+    /** Apply the fault plan (if any) and wire up the watchdog. */
+    void
+    setupFault(const FaultPlan *fault)
+    {
+        if (fault != nullptr && !fault->empty()) {
+            injection_ =
+                applyFaultPlan(*fault, cfg_, topo_, *org_, proto_, mesh_);
+        }
+        WatchdogConfig wcfg;
+        wcfg.stallBudget = fault != nullptr && fault->watchdogStall != 0
+            ? fault->watchdogStall
+            : cfg_.watchdogStallCycles;
+        wcfg.maxCycles = fault != nullptr && fault->watchdogMax != 0
+            ? fault->watchdogMax
+            : cfg_.watchdogMaxCycles;
+        watchdog_ = std::make_unique<Watchdog>(
+            eq_, wcfg, [this]() { return proto_.completions(); },
+            [this]() { return std::uint64_t{proto_.inFlight()}; },
+            [this]() { return diagnosticDump(); });
+    }
+
     /** Warmup boundary: zero every statistic, snapshot every core. */
     void
     endWarmup()
@@ -321,6 +386,8 @@ class System
     std::string archName_;
     std::string workloadName_;
     std::vector<std::unique_ptr<TraceCore>> cores_;
+    std::unique_ptr<Watchdog> watchdog_;
+    InjectionReport injection_;
     std::uint32_t activeCores_ = 0;
     bool started_ = false;
     std::uint64_t issued_ = 0;
@@ -332,10 +399,11 @@ class System
 inline RunResult
 simulate(const SystemConfig &cfg, const std::string &arch,
          const std::string &workload, std::uint64_t ops_per_core,
-         std::uint64_t seed, double warmup_fraction = 0.0)
+         std::uint64_t seed, double warmup_fraction = 0.0,
+         const FaultPlan *fault = nullptr)
 {
     const Workload wl = makeWorkload(workload, cfg, ops_per_core, seed);
-    System sys(cfg, arch, wl, seed, warmup_fraction);
+    System sys(cfg, arch, wl, seed, warmup_fraction, fault);
     return sys.run();
 }
 

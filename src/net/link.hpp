@@ -29,6 +29,16 @@ class Link
     Link() = default;
 
     /**
+     * Hard cap on the busy-interval list. Pathological reservation
+     * patterns (notably long fault-injected degradation windows, whose
+     * inflated serialization shreds the schedule into many small
+     * fragments) could otherwise grow the list without bound; at the
+     * cap the smallest inter-interval gaps are merged away, which only
+     * ever over-reserves the wire (conservative, deterministic).
+     */
+    static constexpr std::size_t kMaxIntervals = 1024;
+
+    /**
      * Reserve the link for one message.
      *
      * @param head_arrival cycle the message head reaches the link input
@@ -44,22 +54,33 @@ class Link
     {
         prune(horizon);
         // Earliest conflict-free start >= head_arrival (first fit).
+        // Under a fault-injected degradation window the message
+        // serializes `factor` times slower, so its footprint is
+        // recomputed whenever the candidate start moves.
         Cycle t = head_arrival;
+        std::uint32_t eff = flits * factorAt(t);
         std::size_t pos = 0;
         for (; pos < busy_.size(); ++pos) {
             const Busy &b = busy_[pos];
-            if (t + flits <= b.start)
+            if (t + eff <= b.start)
                 break; // fits in the gap before this interval
-            if (b.end > t)
+            if (b.end > t) {
                 t = b.end; // pushed past it
+                eff = flits * factorAt(t);
+            }
         }
         busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos),
-                     Busy{t, t + flits});
+                     Busy{t, t + eff});
         coalesce(pos);
+        if (busy_.size() > peakIntervals_)
+            peakIntervals_ = busy_.size();
+        if (busy_.size() > kMaxIntervals)
+            compact();
         waitCycles_ += t - head_arrival;
         flitsSent_ += flits;
+        degradedCycles_ += eff - flits;
         ++messages_;
-        return t + latency + (flits - 1);
+        return t + latency + (eff - 1);
     }
 
     /** First cycle a new message arriving "now" could start (tests). */
@@ -67,17 +88,57 @@ class Link
     earliestStart(Cycle arrival, std::uint32_t flits) const
     {
         Cycle t = arrival;
+        std::uint32_t eff = flits * factorAt(t);
         for (const Busy &b : busy_) {
-            if (t + flits <= b.start)
+            if (t + eff <= b.start)
                 break;
-            if (b.end > t)
+            if (b.end > t) {
                 t = b.end;
+                eff = flits * factorAt(t);
+            }
         }
         return t;
     }
 
+    // -- Fault model ---------------------------------------------------
+
+    /**
+     * Degrade the link for cycles [from, until): every message whose
+     * transmission starts inside the window serializes `factor` times
+     * slower (a factor of 1 is a no-op window). Overlapping windows
+     * take the worst factor.
+     */
+    void
+    degrade(Cycle from, Cycle until, std::uint32_t factor)
+    {
+        degradations_.push_back(Degradation{from, until, factor});
+    }
+
+    /** Serialization multiplier in effect at cycle `t` (>= 1). */
+    std::uint32_t
+    factorAt(Cycle t) const
+    {
+        std::uint32_t f = 1;
+        for (const Degradation &d : degradations_)
+            if (t >= d.from && t < d.until && d.factor > f)
+                f = d.factor;
+        return f;
+    }
+
+    /** True when any degradation window is configured. */
+    bool degraded() const { return !degradations_.empty(); }
+
     /** Number of live busy intervals (diagnostics). */
     std::size_t intervals() const { return busy_.size(); }
+
+    /** High-water mark of the busy-interval list (leak visibility). */
+    std::size_t peakIntervals() const { return peakIntervals_; }
+
+    /** Interval-merge operations forced by the kMaxIntervals cap. */
+    std::uint64_t compactions() const { return compactions_; }
+
+    /** Extra wire cycles paid to degradation windows. */
+    Cycle degradedCycles() const { return degradedCycles_; }
 
     /** Total flits pushed through this link (utilization stat). */
     std::uint64_t flitsSent() const { return flitsSent_; }
@@ -88,7 +149,8 @@ class Link
     /** Accumulated queueing delay suffered at this link. */
     Cycle waitCycles() const { return waitCycles_; }
 
-    /** Clear occupancy and stats. */
+    /** Clear occupancy and stats; degradation windows are configuration
+     * and survive. */
     void
     reset()
     {
@@ -103,6 +165,9 @@ class Link
         flitsSent_ = 0;
         messages_ = 0;
         waitCycles_ = 0;
+        degradedCycles_ = 0;
+        compactions_ = 0;
+        peakIntervals_ = busy_.size();
     }
 
   private:
@@ -139,10 +204,48 @@ class Link
         }
     }
 
+    /**
+     * Enforce kMaxIntervals by repeatedly merging the pair of adjacent
+     * intervals with the smallest gap between them (ties: the earliest
+     * pair). Merging turns free time into reserved time — future
+     * messages may be scheduled later than strictly necessary, never
+     * earlier — so correctness and determinism are preserved.
+     */
+    void
+    compact()
+    {
+        while (busy_.size() > kMaxIntervals) {
+            std::size_t best = 0;
+            Cycle best_gap = busy_[1].start - busy_[0].end;
+            for (std::size_t i = 1; i + 1 < busy_.size(); ++i) {
+                const Cycle gap = busy_[i + 1].start - busy_[i].end;
+                if (gap < best_gap) {
+                    best_gap = gap;
+                    best = i;
+                }
+            }
+            busy_[best].end = busy_[best + 1].end;
+            busy_.erase(busy_.begin() +
+                        static_cast<std::ptrdiff_t>(best + 1));
+            ++compactions_;
+        }
+    }
+
+    struct Degradation
+    {
+        Cycle from;
+        Cycle until; //!< exclusive
+        std::uint32_t factor;
+    };
+
     std::vector<Busy> busy_;
+    std::vector<Degradation> degradations_;
     std::uint64_t flitsSent_ = 0;
     std::uint64_t messages_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::size_t peakIntervals_ = 0;
     Cycle waitCycles_ = 0;
+    Cycle degradedCycles_ = 0;
 };
 
 } // namespace espnuca

@@ -123,6 +123,47 @@ class Mesh
 
     std::uint64_t messagesSent() const { return messagesSent_; }
 
+    /** Live busy intervals across all links (stats registry). */
+    std::uint64_t
+    totalIntervals() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &l : links_)
+            sum += l.intervals();
+        return sum;
+    }
+
+    /** Worst per-link interval-list high-water mark. */
+    std::uint64_t
+    peakIntervals() const
+    {
+        std::uint64_t peak = 0;
+        for (const auto &l : links_)
+            if (l.peakIntervals() > peak)
+                peak = l.peakIntervals();
+        return peak;
+    }
+
+    /** Interval merges forced by the per-link cap, summed. */
+    std::uint64_t
+    totalCompactions() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &l : links_)
+            sum += l.compactions();
+        return sum;
+    }
+
+    /** Extra wire cycles paid to fault-injected link degradation. */
+    Cycle
+    totalDegradedCycles() const
+    {
+        Cycle sum = 0;
+        for (const auto &l : links_)
+            sum += l.degradedCycles();
+        return sum;
+    }
+
     /** Mean end-to-end message latency observed so far. */
     double
     meanLatency() const

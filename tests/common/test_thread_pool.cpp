@@ -42,6 +42,27 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture)
     EXPECT_EQ(pool.submit([]() { return 3; }).get(), 3);
 }
 
+TEST(ThreadPool, SurvivesAStormOfThrowingJobs)
+{
+    // Regression: a worker must never die to an escaping exception, so
+    // after every worker has seen many throwing jobs the pool still
+    // runs at full capacity.
+    ThreadPool pool(4);
+    std::vector<std::future<int>> bad;
+    bad.reserve(64);
+    for (int i = 0; i < 64; ++i)
+        bad.push_back(pool.submit(
+            []() -> int { throw std::runtime_error("storm"); }));
+    for (auto &f : bad)
+        EXPECT_THROW(f.get(), std::runtime_error);
+    std::vector<std::future<int>> good;
+    good.reserve(64);
+    for (int i = 0; i < 64; ++i)
+        good.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(good[static_cast<std::size_t>(i)].get(), i * i);
+}
+
 TEST(ThreadPool, SingleWorkerRunsEverything)
 {
     ThreadPool pool(1);

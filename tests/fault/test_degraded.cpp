@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Graceful degradation end-to-end: every architecture model keeps
+ * running (with sane, bit-identical-across-runs statistics) under a
+ * fault plan combining a bank outage, two disabled ways per bank, and a
+ * link-degradation window; ESP-NUCA's protected-LRU and nmax machinery
+ * stays consistent with the reduced associativity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "harness/system.hpp"
+
+namespace espnuca {
+namespace {
+
+/** The acceptance plan: dead bank + 2 dead ways + slow link window. */
+FaultPlan
+acceptancePlan()
+{
+    return FaultPlan::parse("seed=5;bank=6;ways=*:0x3;link=1:e:0:50000:4");
+}
+
+RunResult
+degradedRun(const std::string &arch, std::uint64_t seed)
+{
+    SystemConfig cfg;
+    const FaultPlan plan = acceptancePlan();
+    return simulate(cfg, arch, "apache", 4000, seed, 0.0, &plan);
+}
+
+class DegradedArch : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DegradedArch, RunsToCompletionWithSaneStats)
+{
+    const RunResult r = degradedRun(GetParam(), 42);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.memOps, 0u);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_TRUE(std::isfinite(r.throughput));
+    EXPECT_TRUE(std::isfinite(r.avgIpc));
+    EXPECT_TRUE(std::isfinite(r.avgAccessTime));
+    EXPECT_GT(r.avgAccessTime, 0.0);
+    EXPECT_TRUE(std::isfinite(r.onChipLatency));
+    EXPECT_LE(r.l2DemandHits, r.l2DemandAccesses);
+    // Every serviced reference is attributed to exactly one level.
+    std::uint64_t level_total = 0;
+    for (std::uint64_t c : r.levelCounts)
+        level_total += c;
+    EXPECT_GT(level_total, 0u);
+    for (double c : r.levelContribution)
+        EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST_P(DegradedArch, BitIdenticalAcrossRuns)
+{
+    const RunResult a = degradedRun(GetParam(), 7);
+    const RunResult b = degradedRun(GetParam(), 7);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.memOps, b.memOps);
+    EXPECT_EQ(a.offChipAccesses, b.offChipAccesses);
+    EXPECT_EQ(a.networkFlits, b.networkFlits);
+    EXPECT_EQ(a.l2DemandAccesses, b.l2DemandAccesses);
+    EXPECT_EQ(a.l2DemandHits, b.l2DemandHits);
+    EXPECT_EQ(a.throughput, b.throughput); // bitwise double equality
+    EXPECT_EQ(a.avgAccessTime, b.avgAccessTime);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DegradedArch,
+                         ::testing::Values("shared", "private", "sp-nuca",
+                                           "esp-nuca", "d-nuca"));
+
+TEST(DegradedEsp, ProtectedLruRespectsDisabledWays)
+{
+    SystemConfig cfg;
+    const FaultPlan plan = acceptancePlan();
+    const Workload wl = makeWorkload("apache", cfg, 4000, 3);
+    System sys(cfg, "esp-nuca", wl, 3, 0.0, &plan);
+    const RunResult r = sys.run();
+    EXPECT_GT(r.instructions, 0u);
+
+    for (BankId b = 0; b < sys.org().numBanks(); ++b) {
+        const CacheBank &bank = sys.org().bank(b);
+        const bool dead = b == 6;
+        EXPECT_EQ(bank.disabledWays(), dead ? cfg.l2Ways : 2u);
+        for (std::uint32_t s = 0; s < bank.numSets(); ++s) {
+            const CacheSet &set = bank.set(s);
+            // Fenced ways never hold data, under any insert path.
+            for (std::uint32_t w = 0; w < set.numWays(); ++w) {
+                if (set.wayDisabled(static_cast<int>(w))) {
+                    EXPECT_FALSE(set.way(static_cast<int>(w)).valid);
+                }
+            }
+            // The paper's per-set helping count can never exceed the
+            // surviving associativity.
+            EXPECT_LE(set.helpingCount(), set.enabledWays());
+            EXPECT_LE(set.countIf(kMatchAny), set.enabledWays());
+        }
+        // The nmax monitor still reports a bound within the geometry.
+        if (bank.monitor()) {
+            EXPECT_LE(bank.monitor()->nmax(), cfg.l2Ways);
+        }
+    }
+    // The dead bank served nothing: the remap kept traffic away.
+    EXPECT_EQ(sys.org().bank(6).demandAccesses(), 0u);
+}
+
+TEST(DegradedEsp, TwoDisabledWaysStillHitAndLearn)
+{
+    // 1-2 disabled ways (satellite check): ESP-NUCA keeps producing
+    // first-class hits and a plausible mean nmax.
+    SystemConfig cfg;
+    const FaultPlan plan = FaultPlan::parse("ways=*:0x1");
+    const RunResult one =
+        simulate(cfg, "esp-nuca", "apache", 4000, 9, 0.0, &plan);
+    EXPECT_GT(one.l2DemandHits, 0u);
+    EXPECT_GE(one.meanNmax, 0.0);
+    EXPECT_LE(one.meanNmax, static_cast<double>(cfg.l2Ways));
+
+    const FaultPlan plan2 = FaultPlan::parse("ways=*:0x3");
+    const RunResult two =
+        simulate(cfg, "esp-nuca", "apache", 4000, 9, 0.0, &plan2);
+    EXPECT_GT(two.l2DemandHits, 0u);
+    EXPECT_LE(two.meanNmax, static_cast<double>(cfg.l2Ways));
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Crash-isolated experiment harness: a poisoned data point exhausts its
+ * retry budget and lands as structured PointFailure records while every
+ * other point of the matrix completes normally; successful runs stay
+ * bit-identical to the pre-retry harness; the JSON report carries the
+ * failures only for the poisoned point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+
+namespace espnuca {
+namespace {
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.opsPerCore = 3000;
+    cfg.runs = 2;
+    cfg.baseSeed = 777;
+    cfg.warmupFraction = 0.0;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+TEST(AttemptRun, FirstAttemptUsesTheLegacySeed)
+{
+    const ExperimentConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.seedOf(1, 0), cfg.seedOf(1));
+    EXPECT_NE(cfg.seedOf(1, 1), cfg.seedOf(1));
+    // Retry seeds are a pure function of (baseSeed, r, attempt).
+    EXPECT_EQ(cfg.seedOf(1, 1), cfg.seedOf(1, 1));
+    EXPECT_NE(cfg.seedOf(1, 1), cfg.seedOf(1, 2));
+
+    const RunOutcome out = attemptRun(cfg, "esp-nuca", "apache", 1);
+    ASSERT_TRUE(out.result.has_value());
+    const RunResult direct =
+        simulate(cfg.system, "esp-nuca", "apache", cfg.opsPerCore,
+                 cfg.seedOf(1), cfg.warmupFraction);
+    EXPECT_EQ(out.result->cycles, direct.cycles);
+    EXPECT_EQ(out.result->networkFlits, direct.networkFlits);
+    EXPECT_EQ(out.result->throughput, direct.throughput);
+}
+
+TEST(AttemptRun, PoisonedPlanExhaustsRetriesIntoAFailure)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.faultPlan = "drop-tx=40"; // every attempt stalls the same way
+    cfg.maxAttempts = 2;
+    const RunOutcome out = attemptRun(cfg, "esp-nuca", "apache", 0);
+    ASSERT_FALSE(out.result.has_value());
+    EXPECT_EQ(out.failure.runIndex, 0u);
+    EXPECT_EQ(out.failure.attempts, 2u);
+    EXPECT_EQ(out.failure.seed, cfg.seedOf(0, 1)); // final attempt's seed
+    EXPECT_NE(out.failure.error.find("in flight"), std::string::npos);
+}
+
+TEST(AttemptRun, UnparsablePlanFailsWithoutSimulating)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.faultPlan = "frob=1";
+    const RunOutcome out = attemptRun(cfg, "esp-nuca", "apache", 3);
+    ASSERT_FALSE(out.result.has_value());
+    EXPECT_EQ(out.failure.attempts, 0u);
+    EXPECT_NE(out.failure.error.find("fault plan"), std::string::npos);
+}
+
+TEST(Matrix, PoisonedPointIsIsolatedFromHealthyPoints)
+{
+    const ExperimentConfig healthy = smallConfig();
+    ExperimentConfig poisoned = healthy;
+    poisoned.faultPlan = "drop-tx=40";
+    poisoned.maxAttempts = 2;
+
+    ExperimentMatrix m(healthy);
+    m.add(healthy, "esp-nuca", "apache", "good");
+    m.add(poisoned, "esp-nuca", "apache", "bad");
+    m.add(healthy, "sp-nuca", "apache", "good2");
+    m.run();
+
+    const DataPoint &good = m.at("good");
+    EXPECT_TRUE(good.failures.empty());
+    EXPECT_EQ(good.throughput.count(), healthy.runs);
+
+    const DataPoint &bad = m.at("bad");
+    EXPECT_EQ(bad.failures.size(), poisoned.runs);
+    EXPECT_EQ(bad.throughput.count(), 0u);
+    for (const RunFailure &f : bad.failures)
+        EXPECT_EQ(f.attempts, poisoned.maxAttempts);
+
+    const DataPoint &good2 = m.at("good2");
+    EXPECT_TRUE(good2.failures.empty());
+    EXPECT_EQ(good2.throughput.count(), healthy.runs);
+}
+
+TEST(Matrix, ParallelHarvestMatchesSerialUnderFailures)
+{
+    ExperimentConfig poisoned = smallConfig();
+    poisoned.faultPlan = "drop-tx=40";
+    poisoned.maxAttempts = 2;
+
+    ExperimentConfig serial_cfg = smallConfig();
+    ExperimentMatrix serial(serial_cfg);
+    serial.add(serial_cfg, "esp-nuca", "apache", "good");
+    serial.add(poisoned, "esp-nuca", "apache", "bad");
+    serial.run();
+
+    ExperimentConfig par_cfg = smallConfig();
+    par_cfg.jobs = 4;
+    ExperimentConfig par_poisoned = poisoned;
+    par_poisoned.jobs = 4;
+    ExperimentMatrix parallel(par_cfg);
+    parallel.add(par_cfg, "esp-nuca", "apache", "good");
+    parallel.add(par_poisoned, "esp-nuca", "apache", "bad");
+    parallel.run();
+
+    EXPECT_EQ(serial.at("good").throughput.mean(),
+              parallel.at("good").throughput.mean());
+    EXPECT_EQ(serial.at("good").avgAccessTime.mean(),
+              parallel.at("good").avgAccessTime.mean());
+    ASSERT_EQ(serial.at("bad").failures.size(),
+              parallel.at("bad").failures.size());
+    for (std::size_t i = 0; i < serial.at("bad").failures.size(); ++i) {
+        EXPECT_EQ(serial.at("bad").failures[i].seed,
+                  parallel.at("bad").failures[i].seed);
+        EXPECT_EQ(serial.at("bad").failures[i].runIndex,
+                  parallel.at("bad").failures[i].runIndex);
+    }
+}
+
+TEST(Report, FailuresAppearOnlyInPoisonedPoints)
+{
+    const ExperimentConfig healthy = smallConfig();
+    ExperimentConfig poisoned = healthy;
+    poisoned.faultPlan = "drop-tx=40";
+    poisoned.maxAttempts = 1;
+
+    ExperimentMatrix m(healthy);
+    m.add(healthy, "esp-nuca", "apache", "good");
+    m.add(poisoned, "esp-nuca", "apache", "bad");
+    m.run();
+
+    JsonWriter good;
+    writePointJson(good, m.at("good"));
+    EXPECT_EQ(good.str().find("\"failures\""), std::string::npos);
+
+    JsonWriter bad;
+    writePointJson(bad, m.at("bad"));
+    const std::string doc = bad.str();
+    EXPECT_NE(doc.find("\"failures\""), std::string::npos);
+    EXPECT_NE(doc.find("\"attempts\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"error\":"), std::string::npos);
+
+    JsonWriter bench;
+    writeBenchJson(bench, "fault-bench", healthy, m.points());
+    EXPECT_NE(bench.str().find("\"failures\""), std::string::npos);
+}
+
+} // namespace
+} // namespace espnuca

@@ -14,6 +14,11 @@
  *   --window N  --mshrs N  --d N (monitor degradation shift)
  * Run control:
  *   --ops N  --seed N  --runs N  --jobs N  --warmup F  --json  --csv
+ * Robustness:
+ *   --fault-plan SPEC    inject faults (see src/fault/fault_plan.hpp)
+ *   --watchdog N         fail after N cycles without forward progress
+ *   --max-cycles N       absolute simulated-cycle ceiling
+ *   --retries N          attempts per run before reporting a failure
  */
 
 #include <cstdio>
@@ -48,6 +53,8 @@ struct Options
     bool stats = false;
     std::string recordTrace;
     std::string replayTrace;
+    std::string faultPlan;
+    std::uint32_t retries = 1; //!< attempts per run
     SystemConfig system;
 };
 
@@ -68,6 +75,11 @@ usage(int code)
         "  --stats              dump per-component statistics\n"
         "  --record-trace DIR   capture the generated streams to DIR\n"
         "  --replay-trace DIR   replay core<N>.trace files from DIR\n"
+        "  --fault-plan SPEC    inject faults, e.g.\n"
+        "                       'bank=3;ways=*:0x3;link=0:e:0:5000:4'\n"
+        "  --watchdog N         fail after N cycles without progress\n"
+        "  --max-cycles N       absolute simulated-cycle ceiling\n"
+        "  --retries N          attempts per run before failing it\n"
         "  --l2-mb N --banks N --ways N --mem-latency N --cores N\n"
         "  --window N --mshrs N --d N\n"
         "  --list-archs, --list-workloads, --help\n");
@@ -131,6 +143,14 @@ parse(int argc, char **argv)
             o.recordTrace = next();
         } else if (a == "--replay-trace") {
             o.replayTrace = next();
+        } else if (a == "--fault-plan") {
+            o.faultPlan = next();
+        } else if (a == "--watchdog") {
+            o.system.watchdogStallCycles = parseU64(next());
+        } else if (a == "--max-cycles") {
+            o.system.watchdogMaxCycles = parseU64(next());
+        } else if (a == "--retries") {
+            o.retries = static_cast<std::uint32_t>(parseU64(next()));
         } else if (a == "--l2-mb") {
             o.system.l2SizeBytes = parseU64(next()) << 20;
         } else if (a == "--banks") {
@@ -166,7 +186,7 @@ parse(int argc, char **argv)
 }
 
 RunResult
-runOnce(const Options &o, std::uint64_t seed)
+runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan)
 {
     const SystemConfig &cfg = o.system;
     if (!o.replayTrace.empty()) {
@@ -182,7 +202,7 @@ runOnce(const Options &o, std::uint64_t seed)
             }
         }
         System sys(cfg, o.arch, "replay:" + o.replayTrace,
-                   std::move(sources), seed, o.warmup, total);
+                   std::move(sources), seed, o.warmup, total, plan);
         const RunResult r = sys.run();
         if (o.stats)
             sys.dumpStats(std::cout);
@@ -204,18 +224,44 @@ runOnce(const Options &o, std::uint64_t seed)
                 o.recordTrace + "/core" + std::to_string(c) + ".trace");
         }
         System sys(cfg, o.arch, wl.name, std::move(sources), seed,
-                   o.warmup, total);
+                   o.warmup, total, plan);
         const RunResult r = sys.run();
         if (o.stats)
             sys.dumpStats(std::cout);
         return r;
     }
 
-    System sys(cfg, o.arch, wl, seed, o.warmup);
+    System sys(cfg, o.arch, wl, seed, o.warmup, plan);
     const RunResult r = sys.run();
     if (o.stats)
         sys.dumpStats(std::cout);
     return r;
+}
+
+/**
+ * One crash-isolated CLI run: retry with a fresh seed-derived stream up
+ * to o.retries times, then surface the final failure as data. Attempt 0
+ * uses the historical seed formula, so healthy runs are bit-identical
+ * to earlier versions of the tool.
+ */
+RunOutcome
+attemptCli(const Options &o, std::uint32_t r, const FaultPlan *plan)
+{
+    RunOutcome out;
+    const std::uint32_t tries = o.retries == 0 ? 1 : o.retries;
+    for (std::uint32_t a = 0; a < tries; ++a) {
+        const std::uint64_t base = o.seed + r * 7919;
+        const std::uint64_t seed =
+            a == 0 ? base
+                   : splitmix64(base ^ (0x9E3779B97F4A7C15ULL * a));
+        try {
+            out.result = runOnce(o, seed, plan);
+            return out;
+        } catch (const std::exception &e) {
+            out.failure = RunFailure{r, seed, a + 1, e.what()};
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -224,6 +270,18 @@ int
 main(int argc, char **argv)
 {
     const Options o = parse(argc, argv);
+
+    std::optional<FaultPlan> plan;
+    if (!o.faultPlan.empty()) {
+        try {
+            plan = FaultPlan::parse(o.faultPlan);
+            plan->validate(o.system);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+    const FaultPlan *planPtr = plan ? &*plan : nullptr;
 
     if (o.csv)
         std::printf("%s\n", csvHeader().c_str());
@@ -240,21 +298,39 @@ main(int argc, char **argv)
     const bool parallel = jobs > 1 && o.runs > 1 && !o.stats &&
                           o.recordTrace.empty();
     std::optional<ThreadPool> pool;
-    std::vector<std::future<RunResult>> futs;
+    std::vector<std::future<RunOutcome>> futs;
     if (parallel) {
         pool.emplace(jobs);
         futs.reserve(o.runs);
         for (std::uint32_t r = 0; r < o.runs; ++r)
-            futs.push_back(
-                pool->submit([&o, seed = o.seed + r * 7919]() {
-                    return runOnce(o, seed);
-                }));
+            futs.push_back(pool->submit(
+                [&o, r, planPtr]() { return attemptCli(o, r, planPtr); }));
     }
 
     RunningStats thr;
+    std::uint32_t failed = 0;
     for (std::uint32_t r = 0; r < o.runs; ++r) {
-        const RunResult res =
-            parallel ? futs[r].get() : runOnce(o, o.seed + r * 7919);
+        const RunOutcome out =
+            parallel ? futs[r].get() : attemptCli(o, r, planPtr);
+        if (!out.result) {
+            ++failed;
+            const RunFailure &f = out.failure;
+            if (o.json) {
+                json.beginObject();
+                json.field("run", static_cast<std::uint64_t>(f.runIndex));
+                json.field("seed", f.seed);
+                json.field("attempts",
+                           static_cast<std::uint64_t>(f.attempts));
+                json.field("error", f.error);
+                json.endObject();
+            } else {
+                std::fprintf(stderr,
+                             "run %u FAILED after %u attempt(s): %s\n", r,
+                             f.attempts, f.error.c_str());
+            }
+            continue;
+        }
+        const RunResult &res = *out.result;
         thr.record(res.throughput);
         if (o.json) {
             writeRunJson(json, res);
@@ -276,5 +352,5 @@ main(int argc, char **argv)
         std::printf("throughput mean=%.3f ci95=%.3f over %u runs\n",
                     thr.mean(), thr.ci95(), o.runs);
     }
-    return 0;
+    return failed == 0 ? 0 : 1;
 }

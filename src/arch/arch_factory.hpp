@@ -42,7 +42,7 @@ makeArch(const std::string &name, const SystemConfig &cfg,
         return std::make_unique<SpNuca>(cfg, SpPartition::Static);
     if (name == "sp-nuca-shadow")
         return std::make_unique<SpNuca>(cfg, SpPartition::ShadowTags);
-    if (name == "esp-nuca")
+    if (name == "esp-nuca" || name == "esp") // "esp" = CLI shorthand
         return std::make_unique<EspNuca>(cfg, EspReplacement::ProtectedLru);
     if (name == "esp-nuca-flat")
         return std::make_unique<EspNuca>(cfg, EspReplacement::FlatLru);

@@ -21,6 +21,7 @@
 
 #include "arch/sp_nuca.hpp"
 #include "common/rng.hpp"
+#include "obs/trace_buffer.hpp"
 
 namespace espnuca {
 
@@ -122,6 +123,11 @@ class EspNuca : public SpNuca
             return;
         }
         ++victimsCreated_;
+        if (obs::Tracer *tr = proto().tracer(); tr && tr->enabled())
+            tr->record(obs::TraceKind::VictimCreate, t, tr->currentTx(),
+                       blk.addr, static_cast<std::uint16_t>(home),
+                       static_cast<std::uint8_t>(blk.owner),
+                       static_cast<std::uint32_t>(from_bank));
         // No victim chaining: whatever a victim displaces is dropped.
         if (res.evicted.valid)
             dropDisplaced(res.evicted, home, t);
@@ -193,6 +199,10 @@ class EspNuca : public SpNuca
         if (!res.inserted)
             return;
         ++replicasCreated_;
+        if (obs::Tracer *tr = proto().tracer(); tr && tr->enabled())
+            tr->record(obs::TraceKind::ReplicaCreate, t, tr->currentTx(),
+                       blk.addr, static_cast<std::uint16_t>(priv),
+                       static_cast<std::uint8_t>(c), 0);
         if (res.evicted.valid)
             dropDisplaced(res.evicted, priv, t);
     }

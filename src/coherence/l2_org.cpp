@@ -58,8 +58,16 @@ L2Org::applyInsert(BankId b, std::uint32_t set, const BlockMeta &blk,
     InsertResult res = banks_[b]->insert(set, incoming);
     if (!res.inserted)
         return res;
-    if (res.evicted.valid)
+    if (res.evicted.valid) {
         proto().dir().removeL2(res.evicted.addr, b);
+        // Protected-LRU displacement: the policy chose to sacrifice
+        // this block (helping blocks first, by design).
+        if (obs::Tracer *tr = proto().tracer(); tr && tr->enabled())
+            tr->record(obs::TraceKind::L2Evict, proto().eq().now(),
+                       tr->currentTx(), res.evicted.addr,
+                       static_cast<std::uint16_t>(b), 0,
+                       static_cast<std::uint32_t>(res.evicted.cls));
+    }
     proto().dir().addL2(blk.addr, b, owner_token);
     return res;
 }

@@ -11,6 +11,7 @@
 
 #include "coherence/l2_org.hpp"
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace espnuca {
 
@@ -40,6 +41,7 @@ Protocol::~Protocol()
 void
 Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
 {
+    ESP_PROF_SCOPE("proto.access");
     a = map_.blockAddr(a);
     ++accesses_;
     const bool is_write = t == AccessType::Store;
@@ -98,6 +100,12 @@ Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
     live_[raw->id] = raw;
     mshrs_[key] = raw;
     ++transactions_;
+    // The L1 miss is the moment a reference becomes a transaction: the
+    // issue record opens the lifecycle span.
+    if (tracer_ && tracer_->enabled())
+        tracer_->record(obs::TraceKind::TxIssue, issue, raw->id, a, 0,
+                        static_cast<std::uint8_t>(c),
+                        static_cast<std::uint32_t>(t));
     acquireLock(a, [this, raw]() { begin(raw); });
 }
 
@@ -108,8 +116,16 @@ Protocol::begin(Transaction *tx)
     // have delayed us further.
     const Cycle t0 = std::max(tx->issueTime + cfg_.l1TagLatency, eq_.now());
     tx->searchStart = t0;
-    if (dir_.noteAccess(tx->addr, tx->core))
+    if (tracer_)
+        tracer_->setCurrentTx(tx->id);
+    if (dir_.noteAccess(tx->addr, tx->core)) {
         ++privatizations_;
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(
+                obs::TraceKind::Promotion, t0, tx->id, tx->addr,
+                static_cast<std::uint16_t>(map_.sharedBank(tx->addr)),
+                static_cast<std::uint8_t>(tx->core), 0);
+    }
 
     // Re-derive the transaction shape from the *current* L1 state: while
     // this transaction waited for the block lock, a lock-serialized
@@ -155,6 +171,8 @@ void
 Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
                 ClassMask match, NodeId from_node, Cycle t, ProbeFn cb)
 {
+    if (tracer_)
+        tracer_->setCurrentTx(tx.id);
     const NodeId node = topo_.bankNode(bank);
     const Cycle arrival =
         mesh_.deliveryTime(from_node, node, cfg_.ctrlMsgBytes, t);
@@ -169,7 +187,8 @@ Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
     // continuations bail out on their own resolved flag before touching
     // the transaction.
     eq_.scheduleAt(tag_done, [this, addr = tx.addr, &b, set_index, match,
-                              cb = std::move(cb), tag_done]() {
+                              cb = std::move(cb), tag_done, txid = tx.id,
+                              core = tx.core]() {
         const int way = b.find(set_index, addr, match);
         // Demand-stream accounting for the monitor and learning policies
         // (h = 1 only on a first-class hit, paper 3.3).
@@ -180,6 +199,11 @@ Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
         const bool fc_hit =
             way != kNoWay && isFirstClass(b.meta(set_index, way).cls);
         b.recordDemand(set_index, addr, demand_cls, fc_hit);
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceKind::BankProbe, tag_done, txid,
+                            addr, static_cast<std::uint16_t>(b.id()),
+                            static_cast<std::uint8_t>(core),
+                            static_cast<std::uint32_t>(way + 1));
         cb(way, tag_done);
     });
 }
@@ -189,6 +213,8 @@ Protocol::l2Hit(Transaction &tx, BankId bank, std::uint32_t set_index,
                 int way, Cycle tag_done)
 {
     ESP_ASSERT(!tx.servedByL2, "double l2Hit");
+    if (tracer_)
+        tracer_->setCurrentTx(tx.id);
     // Revalidate: the block may have been displaced or migrated between
     // the probe and this call.
     const int live_way = org_.bank(bank).findAny(set_index, tx.addr);
@@ -240,6 +266,8 @@ void
 Protocol::l2Miss(Transaction &tx, NodeId last_node, Cycle t)
 {
     ESP_ASSERT(!tx.servedByL2, "l2Miss after l2Hit");
+    if (tracer_)
+        tracer_->setCurrentTx(tx.id);
     const NodeId home = topo_.bankNode(map_.sharedBank(tx.addr));
     const Cycle t_home =
         last_node == home
@@ -349,6 +377,8 @@ Protocol::startMemory(Transaction &tx, NodeId from_node, Cycle t)
     if (tx.memStarted)
         return;
     tx.memStarted = true;
+    if (tracer_)
+        tracer_->setCurrentTx(tx.id);
     const std::uint32_t mc = map_.memController(tx.addr);
     const NodeId mc_node = topo_.memNode(mc);
     const Cycle t_req =
@@ -357,6 +387,12 @@ Protocol::startMemory(Transaction &tx, NodeId from_node, Cycle t)
     tx.memDataAtReq = mesh_.deliveryTime(mc_node, tx.reqNode,
                                          cfg_.dataMsgBytes, t_ready);
     ++offChipFetches_;
+    if (tracer_ && tracer_->enabled())
+        tracer_->record(obs::TraceKind::MemFill, t_req, tx.id, tx.addr,
+                        static_cast<std::uint16_t>(mc),
+                        static_cast<std::uint8_t>(tx.core),
+                        static_cast<std::uint32_t>(tx.memDataAtReq -
+                                                   t_req));
 }
 
 Cycle
@@ -454,6 +490,10 @@ Protocol::writebackToMemory(Addr a, NodeId from_node, Cycle t)
         mesh_.deliveryTime(from_node, mc_node, cfg_.dataMsgBytes, t);
     mcs_[mc].access(arrival);
     ++writebacks_;
+    if (tracer_ && tracer_->enabled())
+        tracer_->record(obs::TraceKind::MemWriteback, arrival,
+                        tracer_->currentTx(), a,
+                        static_cast<std::uint16_t>(mc), 0, 0);
 }
 
 void
@@ -533,13 +573,23 @@ Protocol::finish(Transaction *tx, Cycle completion)
     }
 
     eq_.scheduleAt(completion, [this, id = tx->id, completion]() {
+        ESP_PROF_SCOPE("proto.finish");
         auto it = live_.find(id);
         ESP_ASSERT(it != live_.end(), "finishing a dead transaction");
         Transaction *tx = it->second;
+        if (tracer_)
+            tracer_->setCurrentTx(id);
 
         // Attribute at completion so waiters that merged in while the
         // transaction was finishing are counted too.
         attribute(*tx, completion);
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceKind::TxComplete, completion, id,
+                            tx->addr,
+                            static_cast<std::uint16_t>(
+                                tx->waiters.size()),
+                            static_cast<std::uint8_t>(tx->core),
+                            static_cast<std::uint32_t>(tx->level));
 
         // Apply the memory-side fill placement for off-chip reads before
         // the L1 fill so owner-token assignment sees the L2 copy.

@@ -32,6 +32,7 @@
 #include "common/types.hpp"
 #include "mem/memory_controller.hpp"
 #include "net/mesh.hpp"
+#include "obs/trace_buffer.hpp"
 #include "sim/event_queue.hpp"
 
 namespace espnuca {
@@ -183,6 +184,15 @@ class Protocol
     /** Number of transactions still in flight (drain check). */
     std::size_t inFlight() const { return live_.size(); }
 
+    /** Allocated MSHRs (epoch telemetry). */
+    std::size_t mshrCount() const { return mshrs_.size(); }
+
+    // -- Observability ---------------------------------------------------
+
+    /** Attach the system's trace sink (null = untraced, the default). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+    obs::Tracer *tracer() { return tracer_; }
+
     /** Transactions completed since construction (watchdog progress). */
     std::uint64_t completions() const { return completions_; }
 
@@ -332,6 +342,9 @@ class Protocol
     std::uint64_t completions_ = 0;
     std::uint64_t dropTxId_ = 0; //!< 0 = no completion is dropped
     std::uint64_t droppedCompletions_ = 0;
+
+    // Observability: read-only lifecycle recording; never alters timing.
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace espnuca

@@ -103,6 +103,7 @@ class Watchdog
         armed_ = true;
         lastProgress_ = progress_();
         lastChange_ = eq_.now();
+        eq_.noteAuxScheduled();
         eq_.schedule(cfg_.checkPeriod, [this]() { check(); });
     }
 
@@ -130,6 +131,7 @@ class Watchdog
     void
     check()
     {
+        eq_.noteAuxFired();
         ++checks_;
         if (cfg_.maxCycles != 0 && eq_.now() > cfg_.maxCycles) {
             throw WatchdogError(
@@ -152,12 +154,15 @@ class Watchdog
                     " transaction(s) in flight",
                 dump_());
         }
-        // Re-arm only while other work remains: the check must never be
-        // the event that keeps the queue alive.
-        if (eq_.pending() > 0)
+        // Re-arm only while *real* (non-observer) work remains: neither
+        // the check itself nor a metrics sampler pending alongside it
+        // may be the reason the queue stays alive.
+        if (eq_.hasRealWork()) {
+            eq_.noteAuxScheduled();
             eq_.schedule(cfg_.checkPeriod, [this]() { check(); });
-        else
+        } else {
             armed_ = false;
+        }
     }
 
     EventQueue &eq_;

@@ -32,6 +32,7 @@
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "harness/system.hpp"
+#include "obs/profiler.hpp"
 #include "stats/running_stats.hpp"
 
 namespace espnuca {
@@ -177,6 +178,7 @@ inline RunOutcome
 attemptRun(const ExperimentConfig &cfg, const std::string &arch,
            const std::string &workload, std::uint32_t r)
 {
+    ESP_PROF_SCOPE("harness.attempt");
     RunOutcome out;
     std::optional<FaultPlan> plan;
     try {
@@ -220,6 +222,7 @@ inline DataPoint
 foldOutcomes(const std::string &arch, const std::string &workload,
              const std::vector<RunOutcome> &outcomes)
 {
+    ESP_PROF_SCOPE("harness.fold");
     DataPoint p;
     p.arch = arch;
     p.workload = workload;

@@ -8,16 +8,56 @@
 #ifndef ESPNUCA_HARNESS_REPORT_HPP_
 #define ESPNUCA_HARNESS_REPORT_HPP_
 
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
+#include "obs/metrics_sampler.hpp"
 
 namespace espnuca {
+
+/**
+ * The epoch-telemetry time series as a JSON array (one object per
+ * MetricsSampler tick). Per-bank objects expose the adaptive
+ * controller's state: nmax, the three set-class EMAs (raw fixed-point,
+ * paper 3.3), helping-block occupancy and first-class demand counters.
+ */
+inline void
+writeTimeseriesJson(JsonWriter &w, const std::vector<obs::MetricsSample> &ts)
+{
+    w.beginArray();
+    for (const obs::MetricsSample &s : ts) {
+        w.beginObject();
+        w.field("cycle", static_cast<std::uint64_t>(s.cycle));
+        w.field("mshr_depth", s.mshrDepth);
+        w.field("in_flight", s.inFlight);
+        w.field("mesh_flits", s.meshFlits);
+        w.field("link_wait", static_cast<std::uint64_t>(s.linkWait));
+        w.field("mem_accesses", s.memAccesses);
+        w.key("banks").beginArray();
+        for (const obs::BankMetrics &b : s.banks) {
+            w.beginObject();
+            if (s.hasMonitor) {
+                w.field("nmax", static_cast<std::uint64_t>(b.nmax));
+                w.field("hr_ref", static_cast<std::uint64_t>(b.hrRef));
+                w.field("hr_conv", static_cast<std::uint64_t>(b.hrConv));
+                w.field("hr_exp", static_cast<std::uint64_t>(b.hrExp));
+            }
+            w.field("replicas", static_cast<std::uint64_t>(b.replicas));
+            w.field("victims", static_cast<std::uint64_t>(b.victims));
+            w.field("demand", b.demandAccesses);
+            w.field("demand_hits", b.demandHits);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+}
 
 /** One run as a JSON object (written into an open writer). */
 inline void
@@ -49,6 +89,12 @@ writeRunJson(JsonWriter &w, const RunResult &r)
         w.endObject();
     }
     w.endObject();
+    // Epoch telemetry rides along only when a sampler ran, so documents
+    // from unsampled runs stay byte-identical to the previous schema.
+    if (!r.timeseries.empty()) {
+        w.key("timeseries");
+        writeTimeseriesJson(w, r.timeseries);
+    }
     w.endObject();
 }
 
@@ -86,6 +132,13 @@ writePointJson(JsonWriter &w, const DataPoint &p)
         stat(toString(static_cast<ServiceLevel>(i)),
              p.levelContribution[i]);
     w.endObject();
+    // Epoch telemetry of the last run folded into this point (the
+    // full per-run series would dwarf the aggregate document). Only
+    // present when a sampler ran.
+    if (!p.lastRun.timeseries.empty()) {
+        w.key("timeseries");
+        writeTimeseriesJson(w, p.lastRun.timeseries);
+    }
     // Crash-isolated runs that exhausted their retry budget. Emitted
     // only when present, so healthy documents are byte-identical to the
     // pre-fault-isolation schema.
@@ -151,8 +204,8 @@ writeBenchJsonFile(const std::string &path, const std::string &bench,
 {
     std::ofstream out(path);
     if (!out) {
-        std::fprintf(stderr, "warning: cannot open %s for JSON output\n",
-                     path.c_str());
+        ESP_LOG(Warn, "harness",
+                "cannot open " + path + " for JSON output");
         return false;
     }
     JsonWriter w;

@@ -9,6 +9,7 @@
 #define ESPNUCA_HARNESS_SYSTEM_HPP_
 
 #include <array>
+#include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -22,6 +23,10 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/watchdog.hpp"
+#include "obs/metrics_sampler.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_buffer.hpp"
+#include "obs/trace_export.hpp"
 #include "workload/presets.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -57,6 +62,9 @@ struct RunResult
     std::uint64_t networkFlits = 0;
     std::uint64_t privatizations = 0;
     double meanNmax = 0.0;         //!< ESP-NUCA only
+
+    /** Epoch telemetry (empty unless a MetricsSampler was enabled). */
+    std::vector<obs::MetricsSample> timeseries;
 };
 
 /** One assembled CMP instance (one architecture, one workload, one seed). */
@@ -79,6 +87,7 @@ class System
         ESP_ASSERT(cfg.valid(), "inconsistent system configuration");
         ESP_ASSERT(wl.cores.size() == cfg.numCores,
                    "workload core count mismatch");
+        wireObservability();
         setupFault(fault);
         std::uint64_t total_ops = 0;
         for (const auto &p : wl.cores)
@@ -126,6 +135,7 @@ class System
         ESP_ASSERT(cfg.valid(), "inconsistent system configuration");
         ESP_ASSERT(sources.size() == cfg.numCores,
                    "need one source slot per core");
+        wireObservability();
         setupFault(fault);
         warmupThreshold_ = static_cast<std::uint64_t>(
             warmup_fraction * static_cast<double>(total_ops));
@@ -174,9 +184,17 @@ class System
     RunResult
     run()
     {
+        ESP_PROF_SCOPE("system.run");
         startCores();
-        if (watchdog_ && watchdog_->enabled())
+        if (sampler_)
+            sampler_->arm();
+        if (watchdog_ && watchdog_->enabled()) {
+            // Stall post-mortems ship with an event history: keep a
+            // bounded trace tail even when full tracing is off.
+            if (!tracer_.enabled())
+                tracer_.enableRing(obs::kDiagRingCapacity);
             watchdog_->arm();
+        }
         eq_.run();
         if (watchdog_)
             watchdog_->checkDrained();
@@ -236,7 +254,46 @@ class System
         r.privatizations = proto_.privatizations();
         if (auto *esp = dynamic_cast<EspNuca *>(org_.get()))
             r.meanNmax = esp->meanNmax();
+        if (sampler_)
+            r.timeseries = sampler_->samples();
         return r;
+    }
+
+    // -- Observability ---------------------------------------------------
+
+    /** Capture the full transaction trace (call before run()). */
+    void
+    enableTracing(std::uint8_t cat_mask = obs::kCatAll)
+    {
+        tracer_.enableFull(cat_mask);
+    }
+
+    /** Sample epoch telemetry every `interval` cycles into run(). */
+    void
+    enableMetrics(Cycle interval)
+    {
+        sampler_ = std::make_unique<obs::MetricsSampler>(
+            eq_, interval,
+            [this](obs::MetricsSample &s) { fillSample(s); });
+    }
+
+    obs::Tracer &tracer() { return tracer_; }
+
+    /**
+     * Drain the captured trace as Chrome/Perfetto trace_event JSON.
+     * Returns false (with a warning) when the file cannot be written.
+     */
+    bool
+    exportTrace(const std::string &path)
+    {
+        std::ofstream out(path);
+        if (!out) {
+            ESP_LOG(Warn, "obs",
+                    "cannot open " + path + " for trace output");
+            return false;
+        }
+        obs::writeChromeTrace(out, tracer_.snapshot());
+        return out.good();
     }
 
     /** Per-core IPC (0 for idle cores; valid after the run drains). */
@@ -316,6 +373,8 @@ class System
             reg.counter(base + ".mem_ops").inc(cores_[c]->memOps());
             reg.average(base + ".ipc").record(cores_[c]->ipc());
         }
+        // Wall-clock self-profiling (prof.*); empty unless --prof ran.
+        obs::ProfRegistry::instance().collect(reg);
         reg.dump(os);
     }
 
@@ -336,10 +395,63 @@ class System
            << " now=" << eq_.now() << " pending=" << eq_.pending()
            << " executed=" << eq_.executed() << "\n";
         proto_.dumpDiagnostics(os);
+        // Replayable event history: the tail of the trace ring (or of
+        // the full capture) rides inside every WatchdogError, and from
+        // there into the harness failures JSON.
+        const auto tail = tracer_.tail(obs::kDiagTailLines);
+        if (!tail.empty()) {
+            os << "trace tail (" << tail.size()
+               << " most recent record(s)):\n";
+            for (const auto &rec : tail) {
+                os << "  @" << rec.time << " " << toString(rec.kind)
+                   << " tx " << rec.tx << " core "
+                   << static_cast<unsigned>(rec.core) << " addr 0x"
+                   << std::hex << rec.addr << std::dec << " a=" << rec.a
+                   << " b=" << rec.b << "\n";
+            }
+        }
         return os.str();
     }
 
   private:
+    /** Hand every emitting component its pointer to our tracer. */
+    void
+    wireObservability()
+    {
+        proto_.setTracer(&tracer_);
+        mesh_.setTracer(&tracer_);
+    }
+
+    /** Read-only epoch snapshot (MetricsSampler filler). */
+    void
+    fillSample(obs::MetricsSample &s)
+    {
+        s.mshrDepth = proto_.mshrCount();
+        s.inFlight = proto_.inFlight();
+        s.meshFlits = mesh_.totalFlits();
+        s.linkWait = mesh_.totalLinkWait();
+        for (std::uint32_t m = 0; m < cfg_.memControllers; ++m)
+            s.memAccesses += proto_.memCtrl(m).accesses();
+        s.banks.reserve(org_->numBanks());
+        for (BankId b = 0; b < org_->numBanks(); ++b) {
+            const CacheBank &bank = org_->bank(b);
+            obs::BankMetrics bm;
+            if (const HitRateMonitor *mon = bank.monitor()) {
+                s.hasMonitor = true;
+                bm.nmax = mon->nmax();
+                bm.hrRef = mon->hrReference();
+                bm.hrConv = mon->hrConventional();
+                bm.hrExp = mon->hrExplorer();
+            }
+            const auto occ = bank.helpingOccupancy();
+            bm.replicas = occ.replicas;
+            bm.victims = occ.victims;
+            bm.demandAccesses = bank.demandAccesses();
+            bm.demandHits = bank.demandHits();
+            s.banks.push_back(bm);
+        }
+    }
+
     /** Apply the fault plan (if any) and wire up the watchdog. */
     void
     setupFault(const FaultPlan *fault)
@@ -388,6 +500,8 @@ class System
     std::vector<std::unique_ptr<TraceCore>> cores_;
     std::unique_ptr<Watchdog> watchdog_;
     InjectionReport injection_;
+    obs::Tracer tracer_;
+    std::unique_ptr<obs::MetricsSampler> sampler_;
     std::uint32_t activeCores_ = 0;
     bool started_ = false;
     std::uint64_t issued_ = 0;

@@ -17,6 +17,8 @@
 #include "common/log.hpp"
 #include "net/link.hpp"
 #include "net/topology.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_buffer.hpp"
 #include "sim/event_queue.hpp"
 
 namespace espnuca {
@@ -63,6 +65,7 @@ class Mesh
     Cycle
     deliveryTime(NodeId src, NodeId dst, std::uint32_t bytes, Cycle start)
     {
+        ESP_PROF_SCOPE("mesh.route");
         const std::uint32_t flits = static_cast<std::uint32_t>(
             divCeil(bytes, cfg_.linkBytes));
         // Local delivery still crosses the router once (bank and L1 share
@@ -73,15 +76,19 @@ class Mesh
         // X first, then Y (deadlock-free dimension order).
         while (cur.x != dest.x) {
             const Dir d = cur.x < dest.x ? East : West;
-            t = linkAt(topo_.nodeAt(cur), d)
+            const NodeId node = topo_.nodeAt(cur);
+            t = linkAt(node, d)
                     .transmit(t, flits, cfg_.linkLatency, eq_.now());
+            traceHop(node, d, t);
             cur.x = cur.x < dest.x ? cur.x + 1 : cur.x - 1;
             t += cfg_.routerLatency;
         }
         while (cur.y != dest.y) {
             const Dir d = cur.y < dest.y ? South : North;
-            t = linkAt(topo_.nodeAt(cur), d)
+            const NodeId node = topo_.nodeAt(cur);
+            t = linkAt(node, d)
                     .transmit(t, flits, cfg_.linkLatency, eq_.now());
+            traceHop(node, d, t);
             cur.y = cur.y < dest.y ? cur.y + 1 : cur.y - 1;
             t += cfg_.routerLatency;
         }
@@ -191,13 +198,29 @@ class Mesh
         totalLatency_ = 0;
     }
 
+    /** Attach the system's trace sink (null = untraced, the default). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
   private:
+    /** Record one link traversal, attributed via the tracer's current
+     * transaction (set by the protocol before routing). */
+    void
+    traceHop(NodeId node, Dir d, Cycle t)
+    {
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceKind::Hop, t,
+                            tracer_->currentTx(), 0,
+                            static_cast<std::uint16_t>(node), 0,
+                            static_cast<std::uint32_t>(d));
+    }
+
     const Topology &topo_;
     EventQueue &eq_;
     SystemConfig cfg_;
     std::vector<Link> links_;
     std::uint64_t messagesSent_ = 0;
     Cycle totalLatency_ = 0;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace espnuca

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Compile-time kill switch for the observability layer. The CMake
+ * option ESPNUCA_OBS (default ON) controls the ESPNUCA_OBS_OFF
+ * definition; with it set, every tracing/profiling entry point
+ * degrades to a constexpr-false or empty inline body so the compiler
+ * strips the instrumentation entirely — the disabled build is
+ * bit-identical in behaviour and within noise of the uninstrumented
+ * kernel in throughput.
+ */
+
+#ifndef ESPNUCA_OBS_OBS_SWITCH_HPP_
+#define ESPNUCA_OBS_OBS_SWITCH_HPP_
+
+#ifndef ESPNUCA_OBS_ENABLED
+#ifdef ESPNUCA_OBS_OFF
+#define ESPNUCA_OBS_ENABLED 0
+#else
+#define ESPNUCA_OBS_ENABLED 1
+#endif
+#endif
+
+#endif // ESPNUCA_OBS_OBS_SWITCH_HPP_

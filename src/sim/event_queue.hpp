@@ -34,6 +34,7 @@
 #include "common/inline_fn.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "obs/profiler.hpp"
 
 namespace espnuca {
 
@@ -134,8 +135,8 @@ class EventQueue
     void
     run()
     {
-        while (pending_ != 0)
-            step();
+        ESP_PROF_SCOPE("sim.drain");
+        drain();
     }
 
     /**
@@ -154,7 +155,42 @@ class EventQueue
     /** Total events executed so far (diagnostic). */
     std::uint64_t executed() const { return executed_; }
 
+    // -- Auxiliary (observer) event accounting ---------------------------
+    //
+    // Watchdog checks and metrics samples are read-only observers that
+    // re-arm themselves only while *real* work remains; if each merely
+    // tested pending() > 0, two observers would keep re-arming off each
+    // other's events forever. They register every scheduled check with
+    // noteAuxScheduled(), balance it with noteAuxFired() when the event
+    // runs, and gate re-arming on hasRealWork().
+
+    /** Observer events currently pending. */
+    std::size_t auxPending() const { return auxPending_; }
+
+    /** An observer scheduled one event. */
+    void noteAuxScheduled() { ++auxPending_; }
+
+    /** That event fired (call first thing inside the callback). */
+    void
+    noteAuxFired()
+    {
+        ESP_ASSERT(auxPending_ > 0, "unbalanced aux-event accounting");
+        --auxPending_;
+    }
+
+    /** True when any non-observer event is still pending. */
+    bool hasRealWork() const { return pending_ > auxPending_; }
+
   private:
+    // Kept out of line of run() so the profiling scope's guard/EH
+    // bookkeeping cannot perturb the drain loop's codegen.
+    void
+    drain()
+    {
+        while (pending_ != 0)
+            step();
+    }
+
     static constexpr std::uint32_t kMask = kWheelSpan - 1;
     static constexpr std::uint32_t kBitmapWords = kWheelSpan / 64;
 
@@ -286,6 +322,7 @@ class EventQueue
     std::uint64_t seq_ = 0;
     std::size_t pending_ = 0;
     std::size_t inWheel_ = 0;
+    std::size_t auxPending_ = 0;
     std::uint64_t executed_ = 0;
 };
 

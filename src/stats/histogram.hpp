@@ -6,6 +6,8 @@
 #ifndef ESPNUCA_STATS_HISTOGRAM_HPP_
 #define ESPNUCA_STATS_HISTOGRAM_HPP_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -55,8 +57,16 @@ class Histogram
     {
         if (total_ == 0)
             return 0;
-        const auto target = static_cast<std::uint64_t>(
-            q * static_cast<double>(total_));
+        // Rank of the answering sample: ceil(q * total), clamped to
+        // [1, total]. Truncation would make target 0 for small q and
+        // answer with bucket 0 even when it is empty; a q of exactly
+        // 1.0 must not overrun past the last recorded sample either.
+        auto target = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(total_)));
+        if (target == 0)
+            target = 1;
+        if (target > total_)
+            target = total_;
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < buckets_.size(); ++i) {
             seen += buckets_[i];

@@ -59,6 +59,12 @@ class StatsRegistry
         return sum;
     }
 
+    /** All counters in sorted name order (JSON serialization). */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
     /** Dump every statistic as "name value" lines. */
     void
     dump(std::ostream &os) const

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Leveled-logger tests: ESPNUCA_LOG spec parsing and per-component
+ * threshold resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace espnuca {
+namespace {
+
+using logdetail::LogFilter;
+
+TEST(LogFilter, DefaultsToInfoEverywhere)
+{
+    const LogFilter f = LogFilter::fromSpec(nullptr);
+    EXPECT_EQ(f.thresholdFor("mesh"), LogLevel::Info);
+    EXPECT_EQ(f.thresholdFor("obs"), LogLevel::Info);
+}
+
+TEST(LogFilter, BareLevelSetsTheGlobalThreshold)
+{
+    const LogFilter f = LogFilter::fromSpec("debug");
+    EXPECT_EQ(f.thresholdFor("mesh"), LogLevel::Debug);
+    EXPECT_EQ(f.thresholdFor("anything"), LogLevel::Debug);
+}
+
+TEST(LogFilter, PerComponentOverridesBeatTheGlobal)
+{
+    const LogFilter f = LogFilter::fromSpec("warn,obs:trace,mesh:error");
+    EXPECT_EQ(f.thresholdFor("obs"), LogLevel::Trace);
+    EXPECT_EQ(f.thresholdFor("mesh"), LogLevel::Error);
+    EXPECT_EQ(f.thresholdFor("proto"), LogLevel::Warn);
+}
+
+TEST(LogFilter, UnknownTokensAreIgnored)
+{
+    // A bad filter must never kill (or alter) a simulation.
+    const LogFilter f =
+        LogFilter::fromSpec("bogus,obs:nope,:warn,,mesh:debug");
+    EXPECT_EQ(f.thresholdFor("mesh"), LogLevel::Debug);
+    EXPECT_EQ(f.thresholdFor("obs"), LogLevel::Info);
+    EXPECT_EQ(f.thresholdFor("other"), LogLevel::Info);
+}
+
+TEST(LogFilter, SeverityOrderingIsMostSevereFirst)
+{
+    EXPECT_LT(static_cast<int>(LogLevel::Error),
+              static_cast<int>(LogLevel::Warn));
+    EXPECT_LT(static_cast<int>(LogLevel::Warn),
+              static_cast<int>(LogLevel::Info));
+    EXPECT_LT(static_cast<int>(LogLevel::Info),
+              static_cast<int>(LogLevel::Debug));
+    EXPECT_LT(static_cast<int>(LogLevel::Debug),
+              static_cast<int>(LogLevel::Trace));
+}
+
+} // namespace
+} // namespace espnuca

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Epoch-telemetry tests: the sampler produces a monotone time series
+ * with the adaptive controller's state, never keeps a drained queue
+ * alive (alone or together with the watchdog), never perturbs the
+ * simulation, and is bit-identical across threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fault/fault_plan.hpp"
+#include "harness/system.hpp"
+#include "obs/metrics_sampler.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(MetricsSampler, SamplesAtTheConfiguredCadence)
+{
+    EventQueue eq;
+    // Real work out to cycle 1000, then the queue drains.
+    for (Cycle t = 100; t <= 1000; t += 100)
+        eq.schedule(t, []() {});
+    obs::MetricsSampler ms(eq, 250, [](obs::MetricsSample &) {});
+    ms.arm();
+    eq.run();
+    // Ticks at 250/500/750/1000; the 1000 tick sees no real work left
+    // and does not re-arm.
+    ASSERT_EQ(ms.samples().size(), 4u);
+    EXPECT_EQ(ms.samples()[0].cycle, 250u);
+    EXPECT_EQ(ms.samples()[3].cycle, 1000u);
+}
+
+TEST(MetricsSampler, DoesNotKeepADrainedQueueAlive)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    obs::MetricsSampler ms(eq, 5, [](obs::MetricsSample &) {});
+    ms.arm();
+    eq.run();
+    EXPECT_LE(eq.now(), 15u); // stopped at (or just past) the last work
+}
+
+TEST(MetricsSampler, EspRunYieldsAdaptiveTelemetry)
+{
+    SystemConfig cfg;
+    const Workload wl = makeWorkload("apache", cfg, 5000, 7);
+    System sys(cfg, "esp-nuca", wl, 7, 0.0);
+    sys.enableMetrics(5000);
+    const RunResult r = sys.run();
+    ASSERT_FALSE(r.timeseries.empty());
+    const obs::MetricsSample &last = r.timeseries.back();
+    EXPECT_TRUE(last.hasMonitor); // ESP banks carry EMA monitors
+    ASSERT_EQ(last.banks.size(), cfg.l2Banks);
+    bool any_nmax = false, any_ema = false;
+    for (const auto &b : last.banks) {
+        any_nmax = any_nmax || b.nmax > 0;
+        any_ema = any_ema || b.hrConv > 0 || b.hrRef > 0 || b.hrExp > 0;
+    }
+    EXPECT_TRUE(any_nmax);
+    EXPECT_TRUE(any_ema);
+    // Cumulative counters are monotone along the series.
+    for (std::size_t i = 1; i < r.timeseries.size(); ++i) {
+        EXPECT_GE(r.timeseries[i].meshFlits,
+                  r.timeseries[i - 1].meshFlits);
+        EXPECT_GE(r.timeseries[i].memAccesses,
+                  r.timeseries[i - 1].memAccesses);
+        EXPECT_GT(r.timeseries[i].cycle, r.timeseries[i - 1].cycle);
+    }
+}
+
+TEST(MetricsSampler, SamplingDoesNotPerturbTheRun)
+{
+    SystemConfig cfg;
+    const RunResult plain =
+        simulate(cfg, "esp-nuca", "apache", 4000, 3, 0.0);
+    System sampled(cfg, "esp-nuca", makeWorkload("apache", cfg, 4000, 3),
+                   3, 0.0);
+    sampled.enableMetrics(2000);
+    const RunResult r = sampled.run();
+    EXPECT_EQ(plain.cycles, r.cycles);
+    EXPECT_EQ(plain.throughput, r.throughput);
+    EXPECT_EQ(plain.networkFlits, r.networkFlits);
+    EXPECT_EQ(plain.offChipAccesses, r.offChipAccesses);
+    EXPECT_FALSE(r.timeseries.empty());
+    EXPECT_TRUE(plain.timeseries.empty());
+}
+
+TEST(MetricsSampler, TimeseriesIsBitIdenticalAcrossThreads)
+{
+    // The same (arch, workload, seed, interval) sampled on the main
+    // thread and on a worker thread must agree sample-for-sample —
+    // the parallel harness depends on this.
+    SystemConfig cfg;
+    auto sample = [&cfg]() {
+        System sys(cfg, "esp-nuca", makeWorkload("oltp", cfg, 4000, 21),
+                   21, 0.0);
+        sys.enableMetrics(3000);
+        return sys.run().timeseries;
+    };
+    const std::vector<obs::MetricsSample> serial = sample();
+    std::vector<obs::MetricsSample> threaded;
+    std::thread worker([&]() { threaded = sample(); });
+    worker.join();
+    ASSERT_FALSE(serial.empty());
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(serial[i] == threaded[i]) << "sample " << i;
+}
+
+TEST(MetricsSampler, CoexistsWithTheWatchdog)
+{
+    // Two auxiliary observers (sampler + watchdog) must not keep each
+    // other alive after real work drains — the run has to terminate.
+    SystemConfig cfg;
+    const FaultPlan plan = FaultPlan::parse("watchdog=1000000");
+    const Workload wl = makeWorkload("apache", cfg, 3000, 13);
+    System sys(cfg, "esp-nuca", wl, 13, 0.0, &plan);
+    sys.enableMetrics(2500);
+    const RunResult r = sys.run();
+    EXPECT_FALSE(r.timeseries.empty());
+    const RunResult plain =
+        simulate(cfg, "esp-nuca", "apache", 3000, 13, 0.0);
+    EXPECT_EQ(plain.cycles, r.cycles);
+    EXPECT_EQ(plain.throughput, r.throughput);
+}
+
+} // namespace
+} // namespace espnuca

@@ -64,5 +64,36 @@ TEST(Histogram, EmptyPercentileIsZero)
     EXPECT_EQ(h.percentile(0.5), 0u);
 }
 
+// A single sample answers every quantile, wherever its bucket sits —
+// truncating the rank used to report empty bucket 0 instead.
+TEST(Histogram, SingleSampleAnswersEveryQuantile)
+{
+    Histogram h(10, 4);
+    h.record(25); // bucket 2: [20, 30)
+    EXPECT_EQ(h.percentile(0.01), 29u);
+    EXPECT_EQ(h.percentile(0.5), 29u);
+    EXPECT_EQ(h.percentile(1.0), 29u);
+}
+
+// q == 0 clamps up to the first recorded sample.
+TEST(Histogram, ZeroQuantileIsFirstSample)
+{
+    Histogram h(10, 4);
+    h.record(35);
+    EXPECT_EQ(h.percentile(0.0), 39u);
+}
+
+// q == 1.0 (and beyond, via rounding) clamps to the last sample, never
+// past the populated range.
+TEST(Histogram, FullQuantileStopsAtLastSample)
+{
+    Histogram h(10, 10);
+    h.record(5);
+    h.record(15);
+    EXPECT_EQ(h.percentile(1.0), 19u);
+    EXPECT_EQ(h.percentile(0.51), 19u);
+    EXPECT_EQ(h.percentile(0.5), 9u);
+}
+
 } // namespace
 } // namespace espnuca

@@ -10,14 +10,18 @@
 #     event-kernel pair (timing wheel vs the retired heap kernel) and
 #     the MSHR-pattern hash-map pair (FlatMap vs std::unordered_map),
 #   - bench/fig07_onchip_offchip --json results/fig07_onchip_offchip.json
-#     as the end-to-end smoke (wall time recorded).
+#     as the end-to-end smoke (wall time recorded),
+#   - the event-kernel micro again from an -DESPNUCA_OBS=OFF build: the
+#     disabled observability layer must bench within noise of the
+#     compiled-out one ("obs" section, overhead_pct).
 #
 # Output schema (BENCH_core.json):
 #   { "event_kernel": { "wheel": {events_per_sec, ns_per_event},
 #                       "heap_baseline": {...}, "speedup" },
 #     "map_churn":    { "flat_map": {...}, "unordered_baseline": {...},
 #                       "speedup" },
-#     "fig07": { "wall_seconds", "json_path" } }
+#     "fig07": { "wall_seconds", "json_path" },
+#     "obs": { "obs_on": {...}, "obs_off": {...}, "overhead_pct" } }
 #
 # Environment: ESPNUCA_OPS / ESPNUCA_RUNS / ESPNUCA_JOBS thread through
 # to fig07 as in every figure bench.
@@ -38,6 +42,17 @@ MICRO_JSON=$(mktemp)
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json > "$MICRO_JSON"
 
+echo "== bench_perf: event kernel with ESPNUCA_OBS=OFF =="
+cmake -B build-obsoff -S . -DCMAKE_BUILD_TYPE=Release \
+    -DESPNUCA_OBS=OFF > /dev/null
+cmake --build build-obsoff -j --target micro_components > /dev/null
+OBSOFF_JSON=$(mktemp)
+./build-obsoff/bench/micro_components \
+    --benchmark_filter='EventKernelWheel' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$OBSOFF_JSON"
+
 echo "== bench_perf: fig07_onchip_offchip --json =="
 mkdir -p results
 FIG07_JSON=results/fig07_onchip_offchip.json
@@ -47,15 +62,17 @@ FIG07_START=$(date +%s.%N)
 FIG07_END=$(date +%s.%N)
 
 python3 - "$MICRO_JSON" "$OUT" "$FIG07_JSON" \
-    "$FIG07_START" "$FIG07_END" <<'PY'
+    "$FIG07_START" "$FIG07_END" "$OBSOFF_JSON" <<'PY'
 import json, sys
 
-micro_path, out_path, fig07_path, t0, t1 = sys.argv[1:6]
+micro_path, out_path, fig07_path, t0, t1, obsoff_path = sys.argv[1:7]
 with open(micro_path) as f:
     micro = json.load(f)
+with open(obsoff_path) as f:
+    obsoff = json.load(f)
 
-def mean_metrics(name):
-    for b in micro["benchmarks"]:
+def mean_metrics(name, doc=None):
+    for b in (doc or micro)["benchmarks"]:
         if b["name"] == f"{name}_mean":
             eps = b["items_per_second"]
             return {"events_per_sec": round(eps),
@@ -66,6 +83,7 @@ wheel = mean_metrics("BM_EventKernelWheel")
 heap = mean_metrics("BM_EventKernelHeapBaseline")
 flat = mean_metrics("BM_FlatMapChurn")
 umap = mean_metrics("BM_UnorderedMapChurnBaseline")
+wheel_off = mean_metrics("BM_EventKernelWheel", obsoff)
 
 report = {
     "event_kernel": {
@@ -84,11 +102,21 @@ report = {
         "wall_seconds": round(float(t1) - float(t0), 2),
         "json_path": fig07_path,
     },
+    # Cost of the compiled-in (but runtime-disabled) observability
+    # layer on the event-kernel hot path; must stay within noise.
+    "obs": {
+        "obs_on": wheel,
+        "obs_off": wheel_off,
+        "overhead_pct": round(
+            100.0 * (wheel_off["events_per_sec"] -
+                     wheel["events_per_sec"]) /
+            wheel_off["events_per_sec"], 2),
+    },
 }
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(json.dumps(report, indent=2))
 PY
-rm -f "$MICRO_JSON"
+rm -f "$MICRO_JSON" "$OBSOFF_JSON"
 echo "== bench_perf: wrote $OUT =="

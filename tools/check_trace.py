@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI validator for espnuca-sim observability output.
+
+Usage:
+    check_trace.py TRACE_JSON [RUN_JSON]
+
+TRACE_JSON is a Chrome/Perfetto trace_event file written by
+--trace-out. The check fails unless the file parses, contains at least
+one *complete* transaction span ("ph":"X", cat "tx"), and that span
+correlates (via args.tx) with at least one bank-probe and one mesh-hop
+event — i.e. a full transaction lifecycle was captured.
+
+RUN_JSON, if given, is the --json output of the same run and must carry
+a non-empty "timeseries" whose per-bank entries expose nmax and the
+three set-class EMAs (hr_ref / hr_conv / hr_exp).
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+
+    spans = [e for e in events
+             if e.get("ph") == "X" and e.get("cat") == "tx"]
+    if not spans:
+        fail(f"{path}: no complete transaction span (ph=X, cat=tx)")
+
+    probe_txs = {e["args"]["tx"] for e in events
+                 if e.get("name") == "probe" and "args" in e}
+    hop_txs = {e["args"]["tx"] for e in events
+               if e.get("name") == "hop" and "args" in e}
+    full = [s for s in spans
+            if s["args"]["tx"] in probe_txs and s["args"]["tx"] in hop_txs]
+    if not full:
+        fail(f"{path}: no span correlates with both a bank probe "
+             f"and a mesh hop")
+
+    for s in full[:1]:
+        if s.get("dur", -1) < 0:
+            fail(f"{path}: span has no duration")
+    print(f"check_trace: OK: {len(spans)} span(s), "
+          f"{len(full)} with full probe+hop lifecycle, "
+          f"{len(events)} event(s) total")
+
+
+def check_run(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    runs = doc["runs"] if isinstance(doc, dict) and "runs" in doc else doc
+    if not isinstance(runs, list) or not runs:
+        fail(f"{path}: no runs array")
+    series = runs[0].get("timeseries")
+    if not series:
+        fail(f"{path}: run 0 has no (or an empty) timeseries")
+    banks = series[-1].get("banks")
+    if not banks:
+        fail(f"{path}: last sample has no banks array")
+    needed = {"nmax", "hr_ref", "hr_conv", "hr_exp"}
+    missing = needed - set(banks[0])
+    if missing:
+        fail(f"{path}: bank metrics missing {sorted(missing)}")
+    print(f"check_trace: OK: {len(series)} sample(s), "
+          f"{len(banks)} bank(s) with nmax + set-class EMAs")
+
+
+def main(argv: list) -> None:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(argv[1])
+    if len(argv) == 3:
+        check_run(argv[2])
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -19,6 +19,13 @@
  *   --watchdog N         fail after N cycles without forward progress
  *   --max-cycles N       absolute simulated-cycle ceiling
  *   --retries N          attempts per run before reporting a failure
+ * Observability (see src/obs/):
+ *   --trace-out FILE     Chrome/Perfetto transaction trace (run 0)
+ *   --trace-filter W     restrict the trace: all | tx | bank | core
+ *   --metrics-interval N sample epoch telemetry every N cycles
+ *   --prof               wall-clock self-profiling (prof.* section)
+ *
+ * Options also accept the --opt=value spelling.
  */
 
 #include <cstdio>
@@ -27,12 +34,15 @@
 #include <future>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "harness/report.hpp"
 #include "harness/system.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_buffer.hpp"
 #include "workload/trace_file.hpp"
 
 using namespace espnuca;
@@ -55,6 +65,10 @@ struct Options
     std::string replayTrace;
     std::string faultPlan;
     std::uint32_t retries = 1; //!< attempts per run
+    std::string traceOut;      //!< Perfetto trace path ("" = untraced)
+    std::uint8_t traceMask = obs::kCatAll;
+    Cycle metricsInterval = 0; //!< 0 = no epoch telemetry
+    bool prof = false;
     SystemConfig system;
 };
 
@@ -80,6 +94,10 @@ usage(int code)
         "  --watchdog N         fail after N cycles without progress\n"
         "  --max-cycles N       absolute simulated-cycle ceiling\n"
         "  --retries N          attempts per run before failing it\n"
+        "  --trace-out FILE     write a Chrome/Perfetto trace of run 0\n"
+        "  --trace-filter W     trace categories: all | tx | bank | core\n"
+        "  --metrics-interval N sample epoch telemetry every N cycles\n"
+        "  --prof               collect wall-clock self-profiling\n"
         "  --l2-mb N --banks N --ways N --mem-latency N --cores N\n"
         "  --window N --mshrs N --d N\n"
         "  --list-archs, --list-workloads, --help\n");
@@ -97,8 +115,21 @@ parse(int argc, char **argv)
 {
     Options o;
     for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
+        std::string a = argv[i];
+        // --opt=value spelling: split at the first '='.
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+            const std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.erase(eq);
+                hasInline = true;
+            }
+        }
         auto next = [&]() -> const char * {
+            if (hasInline)
+                return inlineVal.c_str();
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n",
                              a.c_str());
@@ -151,6 +182,19 @@ parse(int argc, char **argv)
             o.system.watchdogMaxCycles = parseU64(next());
         } else if (a == "--retries") {
             o.retries = static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--trace-out") {
+            o.traceOut = next();
+        } else if (a == "--trace-filter") {
+            const std::string w = next();
+            if (!obs::parseTraceFilter(w, o.traceMask)) {
+                std::fprintf(stderr, "unknown trace filter: %s\n",
+                             w.c_str());
+                usage(2);
+            }
+        } else if (a == "--metrics-interval") {
+            o.metricsInterval = parseU64(next());
+        } else if (a == "--prof") {
+            o.prof = true;
         } else if (a == "--l2-mb") {
             o.system.l2SizeBytes = parseU64(next()) << 20;
         } else if (a == "--banks") {
@@ -185,8 +229,28 @@ parse(int argc, char **argv)
     return o;
 }
 
+/**
+ * Arm the observability hooks, run, and drain the trace. `traced` is
+ * true only for the first repetition — one trace file per invocation.
+ */
 RunResult
-runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan)
+runSystem(const Options &o, System &sys, bool traced)
+{
+    if (o.metricsInterval > 0)
+        sys.enableMetrics(o.metricsInterval);
+    if (traced)
+        sys.enableTracing(o.traceMask);
+    const RunResult r = sys.run();
+    if (traced)
+        sys.exportTrace(o.traceOut);
+    if (o.stats)
+        sys.dumpStats(std::cout);
+    return r;
+}
+
+RunResult
+runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan,
+        bool traced)
 {
     const SystemConfig &cfg = o.system;
     if (!o.replayTrace.empty()) {
@@ -203,10 +267,7 @@ runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan)
         }
         System sys(cfg, o.arch, "replay:" + o.replayTrace,
                    std::move(sources), seed, o.warmup, total, plan);
-        const RunResult r = sys.run();
-        if (o.stats)
-            sys.dumpStats(std::cout);
-        return r;
+        return runSystem(o, sys, traced);
     }
 
     const Workload wl = makeWorkload(o.workload, cfg, o.ops, seed);
@@ -225,17 +286,11 @@ runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan)
         }
         System sys(cfg, o.arch, wl.name, std::move(sources), seed,
                    o.warmup, total, plan);
-        const RunResult r = sys.run();
-        if (o.stats)
-            sys.dumpStats(std::cout);
-        return r;
+        return runSystem(o, sys, traced);
     }
 
     System sys(cfg, o.arch, wl, seed, o.warmup, plan);
-    const RunResult r = sys.run();
-    if (o.stats)
-        sys.dumpStats(std::cout);
-    return r;
+    return runSystem(o, sys, traced);
 }
 
 /**
@@ -248,6 +303,7 @@ RunOutcome
 attemptCli(const Options &o, std::uint32_t r, const FaultPlan *plan)
 {
     RunOutcome out;
+    const bool traced = !o.traceOut.empty() && r == 0;
     const std::uint32_t tries = o.retries == 0 ? 1 : o.retries;
     for (std::uint32_t a = 0; a < tries; ++a) {
         const std::uint64_t base = o.seed + r * 7919;
@@ -255,7 +311,7 @@ attemptCli(const Options &o, std::uint32_t r, const FaultPlan *plan)
             a == 0 ? base
                    : splitmix64(base ^ (0x9E3779B97F4A7C15ULL * a));
         try {
-            out.result = runOnce(o, seed, plan);
+            out.result = runOnce(o, seed, plan, traced);
             return out;
         } catch (const std::exception &e) {
             out.failure = RunFailure{r, seed, a + 1, e.what()};
@@ -283,20 +339,30 @@ main(int argc, char **argv)
     }
     const FaultPlan *planPtr = plan ? &*plan : nullptr;
 
+    if (o.prof)
+        obs::setProfiling(true);
+
     if (o.csv)
         std::printf("%s\n", csvHeader().c_str());
     JsonWriter json;
-    if (o.json)
+    if (o.json) {
+        // --prof wraps the legacy run array in {"runs": ..., "prof": ...};
+        // without it the output shape is unchanged.
+        if (o.prof) {
+            json.beginObject();
+            json.key("runs");
+        }
         json.beginArray();
+    }
 
     // Multi-run mode fans the seeds across a worker pool; results are
     // reported in seed order, so the output matches a serial sweep.
-    // Trace recording and stats dumps write as they run, so those modes
-    // stay serial.
+    // Trace recording, lifecycle tracing and stats dumps write as they
+    // run, so those modes stay serial.
     const std::uint32_t jobs =
         o.jobs != 0 ? o.jobs : ThreadPool::defaultJobs();
     const bool parallel = jobs > 1 && o.runs > 1 && !o.stats &&
-                          o.recordTrace.empty();
+                          o.recordTrace.empty() && o.traceOut.empty();
     std::optional<ThreadPool> pool;
     std::vector<std::future<RunOutcome>> futs;
     if (parallel) {
@@ -345,12 +411,28 @@ main(int argc, char **argv)
                             res.offChipAccesses));
         }
     }
+    StatsRegistry profReg;
+    if (o.prof)
+        obs::ProfRegistry::instance().collect(profReg);
     if (o.json) {
         json.endArray();
+        if (o.prof) {
+            json.key("prof");
+            json.beginObject();
+            for (const auto &[name, c] : profReg.counters())
+                json.field(name, c.value());
+            json.endObject();
+            json.endObject();
+        }
         std::printf("%s\n", json.str().c_str());
     } else if (!o.csv && o.runs > 1) {
         std::printf("throughput mean=%.3f ci95=%.3f over %u runs\n",
                     thr.mean(), thr.ci95(), o.runs);
+    }
+    if (o.prof && !o.json) {
+        std::ostringstream os;
+        profReg.dump(os);
+        std::printf("%s", os.str().c_str());
     }
     return failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,27 @@
+# Integration test: a traced, telemetry-sampled run must produce a
+# Perfetto-loadable trace with at least one complete transaction span
+# (correlated with a bank probe and a mesh hop) and a point JSON whose
+# timeseries carries the per-bank nmax and set-class EMAs.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+    COMMAND ${SIM} --arch esp --workload apache --ops 3000
+            --warmup 0 --trace-out ${WORKDIR}/trace.json
+            --metrics-interval 10000 --json
+    RESULT_VARIABLE sim_result
+    OUTPUT_FILE ${WORKDIR}/point.json
+)
+if(NOT sim_result EQUAL 0)
+    message(FATAL_ERROR "traced run failed: ${sim_result}")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${WORKDIR}/trace.json
+            ${WORKDIR}/point.json
+    RESULT_VARIABLE chk_result
+)
+if(NOT chk_result EQUAL 0)
+    message(FATAL_ERROR "trace validation failed: ${chk_result}")
+endif()
+file(REMOVE_RECURSE ${WORKDIR})

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Protocol microbenchmark (google-benchmark): transactions/sec through
+ * the coherence engine's full transaction path — issue, block lock,
+ * L2 search, fill/placement and completion — with the L1 deliberately
+ * thrashed so every access becomes a transaction. The "protocol"
+ * section of BENCH_core.json records these numbers before/after engine
+ * refactors; the transaction-FSM rewrite must stay within noise.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arch/esp_nuca.hpp"
+#include "arch/snuca.hpp"
+#include "coherence/protocol.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace espnuca;
+
+/** Minimal single-threaded rig: one organization + protocol + queue. */
+template <typename Org>
+struct ProtoRig
+{
+    SystemConfig cfg;
+    Topology topo{cfg};
+    EventQueue eq;
+    Mesh mesh{topo, eq};
+    Org org{cfg};
+    Protocol proto{cfg, topo, mesh, eq, org};
+};
+
+/**
+ * Mixed read/write stream over a footprint far beyond the L1s: every
+ * reference misses its L1 and exercises the transaction state machine
+ * end to end (issue -> lock -> search -> hit/miss -> complete).
+ */
+template <typename Org>
+void
+runTransactions(benchmark::State &state)
+{
+    auto rig = std::make_unique<ProtoRig<Org>>();
+    // 4 MB footprint per core stream: larger than the 32 KB L1s, small
+    // enough that the L2 reaches a steady hit/miss mix.
+    constexpr Addr kFootprint = 4ull << 20;
+    Addr a = 0;
+    std::uint32_t n = 0;
+    std::uint64_t done = 0;
+    for (auto _ : state) {
+        const CoreId c = static_cast<CoreId>(n % rig->cfg.numCores);
+        const AccessType t =
+            (n % 4 == 3) ? AccessType::Store : AccessType::Load;
+        rig->proto.access(c, t, a, [&done](ServiceLevel, Cycle) {
+            ++done;
+        });
+        rig->eq.run();
+        a = (a + 8192 + 64) % kFootprint;
+        ++n;
+    }
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(rig->proto.l2Transactions()));
+    state.counters["completions"] = static_cast<double>(done);
+}
+
+/** S-NUCA: the simplest search (single home-bank probe). */
+void
+BM_ProtocolFsmSnuca(benchmark::State &state)
+{
+    runTransactions<Snuca>(state);
+}
+BENCHMARK(BM_ProtocolFsmSnuca);
+
+/** ESP-NUCA: deepest search (private + home + remote fan-out, helpers). */
+void
+BM_ProtocolFsmEspNuca(benchmark::State &state)
+{
+    runTransactions<EspNuca>(state);
+}
+BENCHMARK(BM_ProtocolFsmEspNuca);
+
+} // namespace
+
+BENCHMARK_MAIN();

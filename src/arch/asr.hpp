@@ -54,10 +54,11 @@ class Asr : public L2Org
                         perCore_[tx.core].benefit +=
                             remoteSavingEstimate();
                     }
-                    proto().l2Hit(tx, local, set, way, t);
+                    proto().resolve(tx, L2HitAt{local, set, way, t});
                 } else {
                     noteLocalMiss(tx.core, tx.addr);
-                    proto().l2Miss(tx, proto().topo().bankNode(local), t);
+                    proto().resolve(
+                        tx, L2MissAt{proto().topo().bankNode(local), t});
                 }
                 epochMaybe(tx.core);
             });

@@ -88,7 +88,7 @@ class Dnuca : public L2Org
                 target = far;
         }
         if (target == kInvalidBank) {
-            proto().l2Miss(tx, tx.reqNode, tx.searchStart);
+            proto().resolve(tx, L2MissAt{tx.reqNode, tx.searchStart});
             return;
         }
         const std::uint32_t set = setIndex(tx.addr);
@@ -97,10 +97,10 @@ class Dnuca : public L2Org
             tx.reqNode, tx.searchStart,
             [this, &tx, target, set](int way, Cycle t) {
                 if (way != kNoWay)
-                    proto().l2Hit(tx, target, set, way, t);
+                    proto().resolve(tx, L2HitAt{target, set, way, t});
                 else
-                    proto().l2Miss(tx, proto().topo().bankNode(target),
-                                   t);
+                    proto().resolve(
+                        tx, L2MissAt{proto().topo().bankNode(target), t});
             });
     }
 

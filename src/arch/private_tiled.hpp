@@ -42,9 +42,10 @@ class PrivateTiled : public L2Org
             tx.reqNode, tx.searchStart,
             [this, &tx, local, set](int way, Cycle t) {
                 if (way != kNoWay)
-                    proto().l2Hit(tx, local, set, way, t);
+                    proto().resolve(tx, L2HitAt{local, set, way, t});
                 else
-                    proto().l2Miss(tx, proto().topo().bankNode(local), t);
+                    proto().resolve(
+                        tx, L2MissAt{proto().topo().bankNode(local), t});
             });
     }
 

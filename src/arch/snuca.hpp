@@ -39,9 +39,10 @@ class Snuca : public L2Org
             tx.reqNode, tx.searchStart,
             [this, &tx, home, set](int way, Cycle t) {
                 if (way != kNoWay)
-                    proto().l2Hit(tx, home, set, way, t);
+                    proto().resolve(tx, L2HitAt{home, set, way, t});
                 else
-                    proto().l2Miss(tx, proto().topo().bankNode(home), t);
+                    proto().resolve(
+                        tx, L2MissAt{proto().topo().bankNode(home), t});
             });
     }
 

@@ -61,7 +61,7 @@ class SpNuca : public L2Org
             tx, priv, pset, localMatch(), tx.reqNode, tx.searchStart,
             [this, &tx, priv, pset](int way, Cycle t) {
                 if (way != kNoWay) {
-                    proto().l2Hit(tx, priv, pset, way, t);
+                    proto().resolve(tx, L2HitAt{priv, pset, way, t});
                     return;
                 }
                 searchShared(tx, priv, t);
@@ -221,7 +221,7 @@ class SpNuca : public L2Org
             tx, home, sset, homeMatch(), from, t,
             [this, &tx, home, sset](int way, Cycle t2) {
                 if (way != kNoWay) {
-                    proto().l2Hit(tx, home, sset, way, t2);
+                    proto().resolve(tx, L2HitAt{home, sset, way, t2});
                     return;
                 }
                 searchRemotePrivate(tx, home, t2);
@@ -248,7 +248,7 @@ class SpNuca : public L2Org
                         return;
                     if (way != kNoWay) {
                         state->resolved = true;
-                        proto().l2Hit(tx, b, pset, way, t2);
+                        proto().resolve(tx, L2HitAt{b, pset, way, t2});
                         return;
                     }
                     // Negative responses return to the home bank; the
@@ -260,8 +260,9 @@ class SpNuca : public L2Org
                         std::max(state->lastResponse, back);
                     if (--state->pendingResponses == 0) {
                         state->resolved = true;
-                        proto().l2Miss(tx, home_node,
-                                       state->lastResponse);
+                        proto().resolve(
+                            tx,
+                            L2MissAt{home_node, state->lastResponse});
                     }
                 });
         }

@@ -3,8 +3,9 @@
  * Base class for every L2 organization under study (S-NUCA, Private,
  * SP-NUCA, ESP-NUCA, D-NUCA, ASR, CC). The organization owns the 32 L2
  * banks and drives the on-chip search of each transaction through the
- * protocol's probe/l2Hit/l2Miss services; it also decides placement on
- * fills, L1-writeback handling, and what happens to displaced blocks.
+ * protocol's probe service and the typed resolve(L2HitAt/L2MissAt)
+ * stage entries; it also decides placement on fills, L1-writeback
+ * handling, and what happens to displaced blocks.
  */
 
 #ifndef ESPNUCA_COHERENCE_L2_ORG_HPP_
@@ -42,10 +43,11 @@ class L2Org
 
     /**
      * Drive the on-chip L2 search for `tx` starting at tx.searchStart
-     * from tx.reqNode. Must eventually call proto().l2Hit(...) or
-     * proto().l2Miss(...) exactly once, and may call
-     * proto().startMemory(...) where the paper's flow forwards to the
-     * memory controller in parallel.
+     * from tx.reqNode. Must eventually call proto().resolve(tx,
+     * L2HitAt{...}) or proto().resolve(tx, L2MissAt{...}) exactly once
+     * (the FSM auditor enforces this: a second resolution is not a
+     * legal edge), and may call proto().startMemory(...) where the
+     * paper's flow forwards to the memory controller in parallel.
      */
     virtual void search(Transaction &tx) = 0;
 

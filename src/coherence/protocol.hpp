@@ -1,15 +1,29 @@
 /**
  * @file
- * Transaction-level token-coherence engine (paper 2.3).
+ * Transaction-level token-coherence engine (paper 2.3), structured as
+ * an explicit transaction state machine (DESIGN.md 5.9).
  *
- * Every L1 miss (or write upgrade) becomes a transaction serialized at a
- * per-block ordering point (the block lock). The L2 organization under
- * study drives the on-chip search through Protocol::probe(), and reports
- * the outcome with l2Hit() / l2Miss(); the protocol then completes the
- * transaction: data response, token collection for writes (invalidation
- * fan-out to every holder), L1 fill and eviction handling, and
- * service-level/latency attribution for the paper's Figure 6
- * decomposition.
+ * Every L1 miss (or write upgrade) becomes a transaction serialized at
+ * a per-block ordering point (the block lock). Each transaction carries
+ * a TxState and moves along the static transition table in
+ * tx_state.hpp; the lifecycle stages live in one translation unit each:
+ *
+ *   protocol_issue.cpp    — access(), block lock, begin() dispatch
+ *   protocol_search.cpp   — probe(), resolve(L2HitAt/L2MissAt),
+ *                           the parallel off-chip fetch (startMemory)
+ *   protocol_fill.cpp     — token collection, L1/L2 fills, writebacks
+ *   protocol_complete.cpp — completion event: attribution, fill
+ *                           placement, waiter wake, teardown
+ *   protocol_debug.cpp    — state-aware diagnostics for the watchdog
+ *
+ * The L2 organization under study drives the on-chip search through
+ * Protocol::probe(), and reports the outcome through the typed
+ * stage-entry points resolve(tx, L2HitAt{...}) / resolve(tx,
+ * L2MissAt{...}); the protocol then completes the transaction: data
+ * response, token collection for writes (invalidation fan-out to every
+ * holder), L1 fill and eviction handling, and service-level/latency
+ * attribution for the paper's Figure 6 decomposition. Transitions are
+ * audited against the table (tx_audit.hpp) in non-Release builds.
  *
  * All latencies are built from real mesh messages (with link contention)
  * plus bank and memory-controller occupancy.
@@ -26,7 +40,10 @@
 #include "cache/address_map.hpp"
 #include "coherence/directory.hpp"
 #include "coherence/l1_cache.hpp"
+#include "coherence/tx_audit.hpp"
+#include "coherence/tx_state.hpp"
 #include "common/config.hpp"
+#include "common/log.hpp"
 #include "common/flat_map.hpp"
 #include "common/slab.hpp"
 #include "common/types.hpp"
@@ -53,6 +70,7 @@ using ProbeFn = InlineFn<void(int, Cycle), 48>;
 struct Transaction
 {
     std::uint64_t id = 0;
+    TxState state = TxState::Issued; //!< lifecycle stage (tx_state.hpp)
     CoreId core = kInvalidCore;
     AccessType type = AccessType::Load;
     Addr addr = kInvalidAddr;
@@ -90,6 +108,29 @@ struct LevelStats
     Cycle totalLatency = 0;
 };
 
+/**
+ * Typed stage-entry payload: the search located the block in an L2
+ * bank. Drives the Searching -> HitReturn edge.
+ */
+struct L2HitAt
+{
+    BankId bank;
+    std::uint32_t set;
+    int way;
+    Cycle tagDone; //!< tag-check completion time at the bank
+};
+
+/**
+ * Typed stage-entry payload: the on-chip L2 search exhausted. Drives
+ * Searching -> HitReturn (remote L1 / directory-guided L2 copy) or
+ * Searching -> MissMemWait (off chip).
+ */
+struct L2MissAt
+{
+    NodeId lastNode; //!< where the last search step ended
+    Cycle t;         //!< when it ended
+};
+
 /** The coherence engine. */
 class Protocol
 {
@@ -118,19 +159,25 @@ class Protocol
     void probe(Transaction &tx, BankId bank, std::uint32_t set_index,
                ClassMask match, NodeId from_node, Cycle t, ProbeFn cb);
 
-    /** The search found the block in a bank; protocol completes. */
-    void l2Hit(Transaction &tx, BankId bank, std::uint32_t set_index,
-               int way, Cycle tag_done);
+    /**
+     * Typed stage entry: the search found the block in a bank. The
+     * protocol revalidates the copy and completes the transaction.
+     * Exactly one resolve() per search — a second call is an illegal
+     * FSM transition and trips the auditor.
+     */
+    void resolve(Transaction &tx, const L2HitAt &hit);
 
     /**
-     * The on-chip L2 search exhausted at `t` with the last step at
-     * `last_node`; the protocol falls back to L1 forwarding or memory.
+     * Typed stage entry: the on-chip L2 search exhausted; the protocol
+     * falls back to L1 forwarding, a directory-guided remote L2 copy,
+     * or memory.
      */
-    void l2Miss(Transaction &tx, NodeId last_node, Cycle t);
+    void resolve(Transaction &tx, const L2MissAt &miss);
 
     /**
      * Start the off-chip fetch in parallel with the remaining search
-     * (Figure 2b step 2). Idempotent per transaction.
+     * (Figure 2b step 2). Idempotent per transaction; only legal while
+     * the transaction is still Searching.
      */
     void startMemory(Transaction &tx, NodeId from_node, Cycle t);
 
@@ -210,10 +257,33 @@ class Protocol
     std::uint64_t droppedCompletions() const { return droppedCompletions_; }
 
     /**
-     * Structured diagnostic dump for watchdog failures: outstanding
-     * transactions (sorted by id), lock-queue depths, MSHR count.
+     * Structured diagnostic dump for watchdog failures: a per-state
+     * in-flight histogram (named states), the outstanding transactions
+     * (sorted by id, each with its lifecycle state), lock-queue depths
+     * and the MSHR count.
      */
     void dumpDiagnostics(std::ostream &os) const;
+
+    /** In-flight transaction count per lifecycle state. */
+    std::array<std::size_t, kNumTxStates> inFlightByState() const;
+
+#if ESPNUCA_TX_AUDIT
+    /** The FSM auditor (per-edge coverage counters). */
+    const TxAudit &txAudit() const { return audit_; }
+#endif
+
+    /**
+     * Test hook: force a raw FSM transition on an in-flight
+     * transaction. Exists so the negative audit tests can prove an
+     * illegal edge trips the auditor; never called by the engine.
+     */
+    void
+    debugForceTransition(std::uint64_t id, TxState to)
+    {
+        auto it = live_.find(id);
+        ESP_ASSERT(it != live_.end(), "forcing a dead transaction");
+        transition(*it->second, to, eq_.now());
+    }
 
     /**
      * Zero the statistic counters (warmup boundary). Cache and
@@ -254,8 +324,35 @@ class Protocol
         }
     };
 
+    /**
+     * Move `tx` to `to` at time `t`: audits the edge against the
+     * static table (non-Release builds), stores the new state and
+     * emits a TxStage trace record. The single choke point every
+     * lifecycle stage funnels through.
+     */
+    void
+    transition(Transaction &tx, TxState to, Cycle t)
+    {
+        const TxState from = tx.state;
+#if ESPNUCA_TX_AUDIT
+        audit_.transition(tx.id, tx.addr, from, to,
+                          locks_.find(tx.addr) != locks_.end());
+#endif
+        tx.state = to;
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceKind::TxStage, t, tx.id, tx.addr,
+                            static_cast<std::uint16_t>(from),
+                            static_cast<std::uint8_t>(tx.core),
+                            static_cast<std::uint32_t>(to));
+    }
+
     /** Begin a transaction once it holds the block lock. */
     void begin(Transaction *tx);
+
+    /** Search resolution handlers (HitReturn / miss fallback paths). */
+    void handleL2Hit(Transaction &tx, BankId bank,
+                     std::uint32_t set_index, int way, Cycle tag_done);
+    void handleL2Miss(Transaction &tx, NodeId last_node, Cycle t);
 
     /** Complete: attribute, apply fills/tokens, release lock, wake. */
     void finish(Transaction *tx, Cycle data_at_req);
@@ -345,6 +442,10 @@ class Protocol
 
     // Observability: read-only lifecycle recording; never alters timing.
     obs::Tracer *tracer_ = nullptr;
+
+    // FSM auditor: transition legality, invariants, edge coverage.
+    // An empty stub (no storage, no checks) in Release builds.
+    TxAudit audit_;
 };
 
 } // namespace espnuca

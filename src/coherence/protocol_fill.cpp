@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fill/placement stage of the transaction FSM: token collection for
+ * writes, the completion-time coherence sweep, L1 fills and evictions,
+ * and the memory writeback path. These helpers run inside the
+ * HitReturn/Upgrading/MissFillPlace stages on behalf of finish().
+ */
+
+#include "coherence/protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "coherence/l2_org.hpp"
+#include "common/log.hpp"
+#include "obs/profiler.hpp"
+
+namespace espnuca {
+
+Cycle
+Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
+{
+    const BlockInfo *e = dir_.find(tx.addr);
+    if (e == nullptr)
+        return t_ordering;
+    const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    Cycle last_ack = t_ordering;
+    const NodeId home = topo_.bankNode(map_.sharedBank(tx.addr));
+
+    // Invalidate every other L1 holder.
+    std::vector<L1Id> l1_targets;
+    for (L1Id h = 0; h < cfg_.l1Count(); ++h)
+        if (h != self && e->hasL1Holder(h))
+            l1_targets.push_back(h);
+    for (L1Id h : l1_targets) {
+        const NodeId n = topo_.coreNode(coreOfL1(h));
+        const Cycle t_inv =
+            mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
+        const Cycle t_ack = mesh_.deliveryTime(
+            n, tx.reqNode, cfg_.ctrlMsgBytes, t_inv + cfg_.l1TagLatency);
+        last_ack = std::max(last_ack, t_ack);
+        ++invalsSent_;
+        dropL1Copy(tx.addr, h);
+    }
+
+    // Invalidate every L2 copy (tokens flow to the writer).
+    std::vector<BankId> l2_targets;
+    e = dir_.find(tx.addr); // may have been released above
+    if (e != nullptr) {
+        for (BankId b = 0; b < cfg_.l2Banks; ++b)
+            if (e->hasL2Copy(b))
+                l2_targets.push_back(b);
+    }
+    for (BankId b : l2_targets) {
+        const NodeId n = topo_.bankNode(b);
+        const Cycle t_inv =
+            mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
+        const Cycle t_ack = mesh_.deliveryTime(
+            n, tx.reqNode, cfg_.ctrlMsgBytes,
+            t_inv + cfg_.l2TagLatency);
+        last_ack = std::max(last_ack, t_ack);
+        ++invalsSent_;
+        const auto [set, way] = org_.findCopy(b, tx.addr);
+        ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
+        org_.bank(b).invalidate(set, way);
+        dir_.removeL2(tx.addr, b);
+    }
+    return last_ack;
+}
+
+void
+Protocol::sweepForWrite(Transaction &tx)
+{
+    const BlockInfo *e = dir_.find(tx.addr);
+    if (e == nullptr)
+        return;
+    const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    std::vector<L1Id> l1_targets;
+    for (L1Id h = 0; h < cfg_.l1Count(); ++h)
+        if (h != self && e->hasL1Holder(h))
+            l1_targets.push_back(h);
+    for (L1Id h : l1_targets)
+        dropL1Copy(tx.addr, h);
+    e = dir_.find(tx.addr);
+    if (e == nullptr)
+        return;
+    std::vector<BankId> l2_targets;
+    for (BankId b = 0; b < cfg_.l2Banks; ++b)
+        if (e->hasL2Copy(b))
+            l2_targets.push_back(b);
+    for (BankId b : l2_targets) {
+        const auto [set, way] = org_.findCopy(b, tx.addr);
+        ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
+        org_.bank(b).invalidate(set, way);
+        dir_.removeL2(tx.addr, b);
+    }
+}
+
+void
+Protocol::dropL1Copy(Addr a, L1Id id)
+{
+    l1s_[id].invalidate(a);
+    dir_.removeL1(a, id);
+}
+
+void
+Protocol::writebackToMemory(Addr a, NodeId from_node, Cycle t)
+{
+    const std::uint32_t mc = map_.memController(a);
+    const NodeId mc_node = topo_.memNode(mc);
+    const Cycle arrival =
+        mesh_.deliveryTime(from_node, mc_node, cfg_.dataMsgBytes, t);
+    mcs_[mc].access(arrival);
+    ++writebacks_;
+    if (tracer_ && tracer_->enabled())
+        tracer_->record(obs::TraceKind::MemWriteback, arrival,
+                        tracer_->currentTx(), a,
+                        static_cast<std::uint16_t>(mc), 0, 0);
+}
+
+void
+Protocol::fillRequesterL1(Transaction &tx)
+{
+    const L1Id id = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
+    L1Cache &l1 = l1s_[id];
+    const Cycle t = eq_.now();
+
+    // Refresh path: the block is already resident (write upgrade, or a
+    // lock-serialized read filled it before this same-core write/read).
+    const int resident = l1.lookup(tx.addr);
+    if (resident != kNoWay) {
+        BlockMeta &m = l1.meta(tx.addr, resident);
+        l1.touch(tx.addr, resident);
+        if (tx.isWrite) {
+            m.dirty = true;
+            m.hasOwnerToken = true;
+            dir_.setOwner(tx.addr, OwnerKind::L1, id);
+        }
+        return;
+    }
+
+    bool owner = tx.isWrite;
+    if (!tx.isWrite) {
+        // A read fill takes the owner token only when nobody else can
+        // act as the on-chip supplier.
+        const BlockInfo *e = dir_.find(tx.addr);
+        owner = e == nullptr || (!e->onChip());
+    }
+    const BlockMeta evicted = l1.fill(tx.addr, tx.isWrite, owner);
+    dir_.addL1(tx.addr, id, owner);
+    if (tx.isWrite) {
+        const BlockInfo *e = dir_.find(tx.addr);
+        ESP_ASSERT(e && e->numL1Holders() == 1 && e->l2Copies == 0,
+                   "writer is not the sole holder");
+        dir_.setOwner(tx.addr, OwnerKind::L1, id);
+    }
+    if (evicted.valid)
+        handleL1Eviction(tx.core, id, evicted, t);
+}
+
+void
+Protocol::handleL1Eviction(CoreId c, L1Id id, const BlockMeta &evicted,
+                           Cycle t)
+{
+    // Let the organization place the block first so the directory entry
+    // (and the block's private/shared status) survives the L1 -> L2
+    // move; only then clear the L1 holder bit.
+    const bool stored = org_.onL1Eviction(c, evicted, t);
+    dir_.removeL1(evicted.addr, id);
+    if (!stored && evicted.dirty)
+        writebackToMemory(evicted.addr, topo_.coreNode(c), t);
+}
+
+} // namespace espnuca

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Explicit transaction lifecycle states and the static transition table
+ * the coherence engine is audited against (DESIGN.md 5.9).
+ *
+ * Every transaction carries a TxState; the lifecycle-stage translation
+ * units (protocol_issue / protocol_search / protocol_fill /
+ * protocol_complete) register the edges they own in kTxEdges, and every
+ * Protocol::transition() is checked against that table when the audit
+ * layer is compiled in (see tx_audit.hpp). The table is the single
+ * source of truth: the watchdog dump, the trace records and the
+ * coverage test all read it.
+ *
+ * Mapping to the paper's Figure 6 service levels:
+ *   HitReturn     -> LocalL1 (lock-serialized refresh), RemoteL1,
+ *                    Local/Shared/Remote L2 (the on-chip levels)
+ *   Upgrading     -> LocalL1 (write upgrade: data is local, only the
+ *                    token round trip is billed)
+ *   MissMemWait   -> OffChip
+ */
+
+#ifndef ESPNUCA_COHERENCE_TX_STATE_HPP_
+#define ESPNUCA_COHERENCE_TX_STATE_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace espnuca {
+
+/** Lifecycle stage of one coherence transaction. */
+enum class TxState : std::uint8_t
+{
+    Issued = 0,    //!< L1 miss became a transaction (access())
+    LockWait,      //!< queued at the per-block ordering point
+    Searching,     //!< the L2 organization drives the on-chip search
+    Upgrading,     //!< write upgrade: data local, collecting tokens
+    HitReturn,     //!< on-chip supplier found; data returning
+    MissMemWait,   //!< search exhausted; off-chip fetch outstanding
+    MissFillPlace, //!< off-chip read data arrived; fill placement
+    Attributing,   //!< completion: attribution, fills, waiter wake
+    Done,          //!< torn down (terminal)
+};
+
+inline constexpr std::size_t kNumTxStates = 9;
+
+inline const char *
+toString(TxState s)
+{
+    switch (s) {
+    case TxState::Issued: return "issued";
+    case TxState::LockWait: return "lock-wait";
+    case TxState::Searching: return "searching";
+    case TxState::Upgrading: return "upgrading";
+    case TxState::HitReturn: return "hit-return";
+    case TxState::MissMemWait: return "miss-mem-wait";
+    case TxState::MissFillPlace: return "miss-fill-place";
+    case TxState::Attributing: return "attributing";
+    case TxState::Done: return "done";
+    }
+    return "?";
+}
+
+/**
+ * One legal edge of the transaction FSM: the stage translation unit
+ * that performs it, and what the move means.
+ */
+struct TxEdge
+{
+    TxState from;
+    TxState to;
+    const char *stage; //!< translation unit owning the handler
+    const char *what;  //!< protocol meaning of the move
+};
+
+/**
+ * The static transition table. Ordered by lifecycle; the index of an
+ * edge in this array is its coverage-counter slot.
+ */
+inline constexpr std::array<TxEdge, 12> kTxEdges = {{
+    {TxState::Issued, TxState::LockWait, "protocol_issue",
+     "transaction queued at the block lock"},
+    {TxState::LockWait, TxState::Searching, "protocol_issue",
+     "lock granted; L2 search launched"},
+    {TxState::LockWait, TxState::HitReturn, "protocol_issue",
+     "lock granted; a lock-serialized predecessor already filled the L1"},
+    {TxState::LockWait, TxState::Upgrading, "protocol_issue",
+     "lock granted; write upgrade needs only the token round trip"},
+    {TxState::Searching, TxState::HitReturn, "protocol_search",
+     "on-chip supplier found (L2 bank, remote L1 or remote L2 copy)"},
+    {TxState::Searching, TxState::MissMemWait, "protocol_search",
+     "search exhausted; falling through to the off-chip fetch"},
+    {TxState::HitReturn, TxState::Attributing, "protocol_complete",
+     "on-chip data delivered; completion event fired"},
+    {TxState::Upgrading, TxState::Attributing, "protocol_complete",
+     "all tokens collected; completion event fired"},
+    {TxState::MissMemWait, TxState::MissFillPlace, "protocol_complete",
+     "off-chip read data arrived; applying the fill placement"},
+    {TxState::MissMemWait, TxState::Attributing, "protocol_complete",
+     "off-chip write completed (no fill placement)"},
+    {TxState::MissFillPlace, TxState::Attributing, "protocol_complete",
+     "fill placement applied"},
+    {TxState::Attributing, TxState::Done, "protocol_complete",
+     "waiters woken, lock released, transaction destroyed"},
+}};
+
+inline constexpr std::size_t kNumTxEdges = kTxEdges.size();
+
+/** Index of (from -> to) in kTxEdges, or -1 when the edge is illegal. */
+constexpr int
+txEdgeIndex(TxState from, TxState to)
+{
+    for (std::size_t i = 0; i < kNumTxEdges; ++i)
+        if (kTxEdges[i].from == from && kTxEdges[i].to == to)
+            return static_cast<int>(i);
+    return -1;
+}
+
+constexpr bool
+txEdgeLegal(TxState from, TxState to)
+{
+    return txEdgeIndex(from, to) >= 0;
+}
+
+// The table stays consistent with the enum by construction.
+static_assert(txEdgeLegal(TxState::Issued, TxState::LockWait));
+static_assert(txEdgeLegal(TxState::Attributing, TxState::Done));
+static_assert(!txEdgeLegal(TxState::Done, TxState::Issued));
+static_assert(!txEdgeLegal(TxState::Searching, TxState::Done));
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COHERENCE_TX_STATE_HPP_

@@ -83,6 +83,8 @@ struct SystemConfig
     }
     std::uint32_t l2IndexBits() const { return exactLog2(l2SetsPerBank()); }
     std::uint32_t l1Sets() const { return l1SizeBytes / (l1Ways * blockBytes); }
+    /** Split-L1 count: one I-cache and one D-cache per core. */
+    std::uint32_t l1Count() const { return numCores * 2; }
 
     /** Total token count per block (see DESIGN.md 5.2). */
     std::uint32_t totalTokens() const { return 64; }

@@ -53,8 +53,11 @@ class WatchdogError : public std::runtime_error
     {
     }
 
-    /** The structured diagnostic snapshot (outstanding transactions,
-     * lock queues, wheel occupancy). */
+    /** The structured diagnostic snapshot: the per-state in-flight
+     * histogram (named FSM states), outstanding transactions each with
+     * its lifecycle state, lock queues, wheel occupancy. Where a stall
+     * piles up — e.g. everything in lock-wait behind one transaction
+     * stuck in miss-mem-wait — reads straight off the state names. */
     const std::string &dump() const { return dump_; }
 
   private:

@@ -35,6 +35,7 @@ enum class TraceKind : std::uint8_t
 {
     TxIssue = 0,   //!< L1 miss became a transaction (core, addr, type)
     TxComplete,    //!< transaction finished (a = waiters, b = level)
+    TxStage,       //!< FSM transition (a = from TxState, b = to TxState)
     BankProbe,     //!< tag probe resolved (a = bank, b = way + 1; 0 = miss)
     Hop,           //!< message crossed one mesh link (a = node, b = dir)
     MemFill,       //!< off-chip fetch started (a = controller, b = latency)
@@ -51,6 +52,7 @@ toString(TraceKind k)
     switch (k) {
     case TraceKind::TxIssue: return "tx-issue";
     case TraceKind::TxComplete: return "tx-complete";
+    case TraceKind::TxStage: return "tx-stage";
     case TraceKind::BankProbe: return "bank-probe";
     case TraceKind::Hop: return "hop";
     case TraceKind::MemFill: return "mem-fill";
@@ -80,6 +82,7 @@ category(TraceKind k)
     switch (k) {
     case TraceKind::TxIssue:
     case TraceKind::TxComplete:
+    case TraceKind::TxStage:
     case TraceKind::Hop:
         return kCatTx;
     case TraceKind::BankProbe:

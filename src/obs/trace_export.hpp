@@ -20,6 +20,7 @@
 #include <ostream>
 #include <vector>
 
+#include "coherence/tx_state.hpp"
 #include "obs/trace_buffer.hpp"
 
 namespace espnuca {
@@ -96,6 +97,19 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
         switch (r.kind) {
         case TraceKind::TxIssue:
             break; // emitted when its complete (or the tail) is seen
+        case TraceKind::TxStage:
+            // Lifecycle stage instants ride the transaction track so a
+            // span expands into its FSM edges in the Perfetto UI.
+            writeEventCommon(os, first,
+                             toString(static_cast<TxState>(r.b)), "tx",
+                             "i", r.time, 1, r.core);
+            os << ",\"s\":\"t\"";
+            writeArgsOpen(os);
+            os << "\"tx\":" << r.tx << ",";
+            writeHexAddr(os, r.addr);
+            os << ",\"from\":\"" << toString(static_cast<TxState>(r.a))
+               << "\"}}";
+            break;
         case TraceKind::TxComplete: {
             auto it = issues.find(r.tx);
             const Cycle start =

@@ -65,7 +65,7 @@ TEST_P(StressSweep, RandomTrafficKeepsInvariants)
                      << GetParam() << " addr=0x" << std::hex << addr);
         EXPECT_TRUE(rig.proto->dir().consistent(addr));
         // L1 agreement.
-        for (L1Id id = 0; id < rig.cfg.numCores * 2; ++id)
+        for (L1Id id = 0; id < rig.cfg.l1Count(); ++id)
             EXPECT_EQ(info.hasL1Holder(id), rig.proto->l1(id).has(addr));
         // L2 agreement.
         for (BankId b = 0; b < rig.cfg.l2Banks; ++b) {
@@ -73,7 +73,7 @@ TEST_P(StressSweep, RandomTrafficKeepsInvariants)
             EXPECT_EQ(info.hasL2Copy(b), way != kNoWay);
         }
         // A dirty L1 copy must carry the owner token.
-        for (L1Id id = 0; id < rig.cfg.numCores * 2; ++id) {
+        for (L1Id id = 0; id < rig.cfg.l1Count(); ++id) {
             if (!info.hasL1Holder(id))
                 continue;
             const int way = rig.proto->l1(id).lookup(addr);

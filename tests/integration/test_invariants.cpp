@@ -26,7 +26,7 @@ checkConsistency(System &sys, const SystemConfig &cfg)
         // Internal entry consistency.
         EXPECT_TRUE(proto.dir().consistent(addr));
         // Every L1 holder bit has a matching cache line.
-        for (L1Id id = 0; id < cfg.numCores * 2; ++id) {
+        for (L1Id id = 0; id < cfg.l1Count(); ++id) {
             EXPECT_EQ(info.hasL1Holder(id), proto.l1(id).has(addr))
                 << "l1=" << id;
         }
@@ -38,7 +38,7 @@ checkConsistency(System &sys, const SystemConfig &cfg)
         }
         // Token conservation under the redistribution rule.
         std::uint64_t total = 0;
-        for (L1Id id = 0; id < cfg.numCores * 2; ++id)
+        for (L1Id id = 0; id < cfg.l1Count(); ++id)
             total += proto.dir().tokensOf(addr, OwnerKind::L1, id);
         for (BankId b = 0; b < cfg.l2Banks; ++b)
             total += proto.dir().tokensOf(addr, OwnerKind::L2Bank, b);

@@ -13,7 +13,12 @@
 #     as the end-to-end smoke (wall time recorded),
 #   - the event-kernel micro again from an -DESPNUCA_OBS=OFF build: the
 #     disabled observability layer must bench within noise of the
-#     compiled-out one ("obs" section, overhead_pct).
+#     compiled-out one ("obs" section, overhead_pct),
+#   - bench/micro_protocol (full coherence-engine transactions on the
+#     S-NUCA and ESP-NUCA substrates) from the Release build (FSM audit
+#     compiled out, must stay within +-2 % of the pre-refactor numbers)
+#     and from a -DESPNUCA_AUDIT=ON Release build ("protocol" section;
+#     audit_overhead_pct records what compiling the audit in costs).
 #
 # Output schema (BENCH_core.json):
 #   { "event_kernel": { "wheel": {events_per_sec, ns_per_event},
@@ -21,7 +26,9 @@
 #     "map_churn":    { "flat_map": {...}, "unordered_baseline": {...},
 #                       "speedup" },
 #     "fig07": { "wall_seconds", "json_path" },
-#     "obs": { "obs_on": {...}, "obs_off": {...}, "overhead_pct" } }
+#     "obs": { "obs_on": {...}, "obs_off": {...}, "overhead_pct" },
+#     "protocol": { "snuca": {...}, "esp_nuca": {...},
+#                   "snuca_audit_on": {...}, "audit_overhead_pct" } }
 #
 # Environment: ESPNUCA_OPS / ESPNUCA_RUNS / ESPNUCA_JOBS thread through
 # to fig07 as in every figure bench.
@@ -32,7 +39,7 @@ OUT="${1:-BENCH_core.json}"
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-release -j --target micro_components \
-    fig07_onchip_offchip > /dev/null
+    micro_protocol fig07_onchip_offchip > /dev/null
 
 echo "== bench_perf: micro_components (event kernel + maps) =="
 MICRO_JSON=$(mktemp)
@@ -53,6 +60,24 @@ OBSOFF_JSON=$(mktemp)
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json > "$OBSOFF_JSON"
 
+echo "== bench_perf: micro_protocol (coherence engine, audit off) =="
+PROTO_JSON=$(mktemp)
+./build-release/bench/micro_protocol \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$PROTO_JSON"
+
+echo "== bench_perf: micro_protocol with ESPNUCA_AUDIT=ON =="
+cmake -B build-auditon -S . -DCMAKE_BUILD_TYPE=Release \
+    -DESPNUCA_AUDIT=ON > /dev/null
+cmake --build build-auditon -j --target micro_protocol > /dev/null
+AUDITON_JSON=$(mktemp)
+./build-auditon/bench/micro_protocol \
+    --benchmark_filter='Snuca' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$AUDITON_JSON"
+
 echo "== bench_perf: fig07_onchip_offchip --json =="
 mkdir -p results
 FIG07_JSON=results/fig07_onchip_offchip.json
@@ -62,14 +87,20 @@ FIG07_START=$(date +%s.%N)
 FIG07_END=$(date +%s.%N)
 
 python3 - "$MICRO_JSON" "$OUT" "$FIG07_JSON" \
-    "$FIG07_START" "$FIG07_END" "$OBSOFF_JSON" <<'PY'
+    "$FIG07_START" "$FIG07_END" "$OBSOFF_JSON" \
+    "$PROTO_JSON" "$AUDITON_JSON" <<'PY'
 import json, sys
 
-micro_path, out_path, fig07_path, t0, t1, obsoff_path = sys.argv[1:7]
+(micro_path, out_path, fig07_path, t0, t1, obsoff_path,
+ proto_path, auditon_path) = sys.argv[1:9]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(obsoff_path) as f:
     obsoff = json.load(f)
+with open(proto_path) as f:
+    proto = json.load(f)
+with open(auditon_path) as f:
+    auditon = json.load(f)
 
 def mean_metrics(name, doc=None):
     for b in (doc or micro)["benchmarks"]:
@@ -79,11 +110,22 @@ def mean_metrics(name, doc=None):
                     "ns_per_event": round(1e9 / eps, 2)}
     raise SystemExit(f"missing benchmark aggregate: {name}_mean")
 
+def tx_metrics(name, doc):
+    for b in doc["benchmarks"]:
+        if b["name"] == f"{name}_mean":
+            tps = b["items_per_second"]
+            return {"transactions_per_sec": round(tps),
+                    "ns_per_transaction": round(1e9 / tps, 2)}
+    raise SystemExit(f"missing benchmark aggregate: {name}_mean")
+
 wheel = mean_metrics("BM_EventKernelWheel")
 heap = mean_metrics("BM_EventKernelHeapBaseline")
 flat = mean_metrics("BM_FlatMapChurn")
 umap = mean_metrics("BM_UnorderedMapChurnBaseline")
 wheel_off = mean_metrics("BM_EventKernelWheel", obsoff)
+proto_snuca = tx_metrics("BM_ProtocolFsmSnuca", proto)
+proto_esp = tx_metrics("BM_ProtocolFsmEspNuca", proto)
+proto_audit = tx_metrics("BM_ProtocolFsmSnuca", auditon)
 
 report = {
     "event_kernel": {
@@ -112,11 +154,26 @@ report = {
                      wheel["events_per_sec"]) /
             wheel_off["events_per_sec"], 2),
     },
+    # Full coherence-engine transactions through the FSM (S-NUCA: the
+    # minimal substrate; ESP-NUCA: the full search/helping-block stack),
+    # plus the same S-NUCA run with the audit layer compiled in. The
+    # Release default compiles the audit out and must bench within
+    # +-2 % of the pre-FSM engine; audit_overhead_pct is the price of
+    # turning the invariant checks on (debug/ASan builds pay it).
+    "protocol": {
+        "snuca": proto_snuca,
+        "esp_nuca": proto_esp,
+        "snuca_audit_on": proto_audit,
+        "audit_overhead_pct": round(
+            100.0 * (proto_snuca["transactions_per_sec"] -
+                     proto_audit["transactions_per_sec"]) /
+            proto_snuca["transactions_per_sec"], 2),
+    },
 }
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(json.dumps(report, indent=2))
 PY
-rm -f "$MICRO_JSON" "$OBSOFF_JSON"
+rm -f "$MICRO_JSON" "$OBSOFF_JSON" "$PROTO_JSON" "$AUDITON_JSON"
 echo "== bench_perf: wrote $OUT =="

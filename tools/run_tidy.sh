@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Static analysis over the whole tree with the repo's curated .clang-tidy
+# profile (bugprone-* + performance-* + identifier naming).
+#
+#   tools/run_tidy.sh [--strict] [paths...]
+#
+# Configures a compile_commands.json build dir (build-tidy/) if needed,
+# then runs clang-tidy over every first-party translation unit (or just
+# the given paths). Default mode reports warnings and exits 0 so the CI
+# job is informational; --strict exits non-zero on any warning for use
+# as a local gate. Degrades with a clear message when clang-tidy is not
+# installed (the container image does not bake it in; CI installs it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STRICT=0
+PATHS=()
+for arg in "$@"; do
+    case "$arg" in
+        --strict) STRICT=1 ;;
+        *) PATHS+=("$arg") ;;
+    esac
+done
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+    for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                clang-tidy-15 clang-tidy-14; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            TIDY="$cand"
+            break
+        fi
+    done
+fi
+if [ -z "$TIDY" ]; then
+    echo "run_tidy: clang-tidy not found on PATH (set CLANG_TIDY=...)." >&2
+    echo "run_tidy: skipping static analysis; install clang-tidy to run it." >&2
+    exit 0
+fi
+
+BUILD_DIR=build-tidy
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+if [ "${#PATHS[@]}" -eq 0 ]; then
+    mapfile -t PATHS < <(find src tools bench examples -name '*.cpp' | sort)
+fi
+
+echo "run_tidy: $TIDY over ${#PATHS[@]} translation unit(s)" >&2
+FAILED=0
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+for tu in "${PATHS[@]}"; do
+    if ! "$TIDY" -p "$BUILD_DIR" --quiet "$tu" >> "$LOG" 2> /dev/null; then
+        FAILED=1
+    fi
+done
+cat "$LOG"
+
+WARNINGS=$(grep -c 'warning:' "$LOG" || true)
+echo "run_tidy: $WARNINGS warning(s)" >&2
+if [ "$STRICT" -eq 1 ] && { [ "$WARNINGS" -gt 0 ] || [ "$FAILED" -ne 0 ]; }; then
+    exit 1
+fi
+if [ "$FAILED" -ne 0 ]; then
+    echo "run_tidy: clang-tidy reported errors on some TUs (see above)" >&2
+    exit 1
+fi
+exit 0

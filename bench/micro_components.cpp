@@ -44,9 +44,11 @@ BM_CacheSetFind(benchmark::State &state)
 {
     CacheSet s(16);
     for (int i = 0; i < 16; ++i) {
-        s.way(i).addr = 0x1000 + i * 0x40;
-        s.way(i).valid = true;
-        s.way(i).cls = i % 2 ? BlockClass::Private : BlockClass::Shared;
+        BlockMeta m;
+        m.addr = 0x1000 + i * 0x40;
+        m.valid = true;
+        m.cls = i % 2 ? BlockClass::Private : BlockClass::Shared;
+        s.assign(i, m);
     }
     Addr probe = 0x1000;
     for (auto _ : state) {
@@ -68,9 +70,11 @@ BM_CacheSetFindMask(benchmark::State &state)
 {
     CacheSet s(16);
     for (int i = 0; i < 16; ++i) {
-        s.way(i).addr = 0x1000 + i * 0x40;
-        s.way(i).valid = true;
-        s.way(i).cls = i % 2 ? BlockClass::Private : BlockClass::Shared;
+        BlockMeta m;
+        m.addr = 0x1000 + i * 0x40;
+        m.valid = true;
+        m.cls = i % 2 ? BlockClass::Private : BlockClass::Shared;
+        s.assign(i, m);
     }
     Addr probe = 0x1000;
     for (auto _ : state) {
@@ -90,9 +94,11 @@ BM_CacheSetTouch(benchmark::State &state)
 {
     CacheSet s(16);
     for (int i = 0; i < 16; ++i) {
-        s.way(i).addr = 0x1000 + i * 0x40;
-        s.way(i).valid = true;
-        s.way(i).cls = BlockClass::Private;
+        BlockMeta m;
+        m.addr = 0x1000 + i * 0x40;
+        m.valid = true;
+        m.cls = BlockClass::Private;
+        s.assign(i, m);
     }
     int w = 0;
     for (auto _ : state) {
@@ -108,10 +114,11 @@ BM_ProtectedLruChoose(benchmark::State &state)
 {
     CacheSet s(16);
     for (int i = 0; i < 16; ++i) {
-        s.way(i).addr = 0x1000 + i * 0x40;
-        s.way(i).valid = true;
-        s.way(i).cls =
-            i < 4 ? BlockClass::Replica : BlockClass::Private;
+        BlockMeta m;
+        m.addr = 0x1000 + i * 0x40;
+        m.valid = true;
+        m.cls = i < 4 ? BlockClass::Replica : BlockClass::Private;
+        s.assign(i, m);
         s.touch(i);
     }
     ProtectedLru p;

@@ -6,16 +6,38 @@
  * thrashed so every access becomes a transaction. The "protocol"
  * section of BENCH_core.json records these numbers before/after engine
  * refactors; the transaction-FSM rewrite must stay within noise.
+ *
+ * Beyond the google-benchmark entries, the binary also answers the
+ * hot-path attribution questions directly:
+ *
+ *   --ratio [N]        run N accesses (default 300000) through the
+ *                      S-NUCA and ESP-NUCA rigs and print both tx/sec
+ *                      plus the ESP-vs-S-NUCA ratio on one line
+ *   --stages [N]       run the ESP-NUCA rig with self-profiling on and
+ *                      print the ns-per-transaction stage breakdown
+ *                      (probe / replace / ema / helping) from the
+ *                      prof.* scopes — requires an ESPNUCA_OBS build
+ *   --breakdown-json F write the --ratio / --stages numbers to F as
+ *                      JSON (bench_perf.sh merges them into
+ *                      BENCH_core.json)
+ *
+ * Any of these flags suppresses the google-benchmark run.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "arch/esp_nuca.hpp"
 #include "arch/snuca.hpp"
 #include "coherence/protocol.hpp"
 #include "net/topology.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -82,6 +104,186 @@ BM_ProtocolFsmEspNuca(benchmark::State &state)
 }
 BENCHMARK(BM_ProtocolFsmEspNuca);
 
+/** Same access stream as runTransactions, for a fixed access count. */
+template <typename Org>
+double
+measureTxPerSec(std::uint64_t accesses, std::uint64_t *tx_out)
+{
+    auto rig = std::make_unique<ProtoRig<Org>>();
+    constexpr Addr kFootprint = 4ull << 20;
+    Addr a = 0;
+    std::uint64_t done = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t n = 0; n < accesses; ++n) {
+        const CoreId c = static_cast<CoreId>(n % rig->cfg.numCores);
+        const AccessType t =
+            (n % 4 == 3) ? AccessType::Store : AccessType::Load;
+        rig->proto.access(c, t, a, [&done](ServiceLevel, Cycle) {
+            ++done;
+        });
+        rig->eq.run();
+        a = (a + 8192 + 64) % kFootprint;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const std::uint64_t tx = rig->proto.l2Transactions();
+    if (tx_out != nullptr)
+        *tx_out = tx;
+    return secs > 0.0 ? static_cast<double>(tx) / secs : 0.0;
+}
+
+/** One stage of the ESP-NUCA breakdown: display name + prof site. */
+struct Stage
+{
+    const char *label;
+    const char *site;
+    double nsPerTx = 0.0;
+    std::uint64_t calls = 0;
+};
+
+/**
+ * Profile the ESP-NUCA rig and attribute the prof.* scope totals to
+ * per-transaction stage costs. The scopes are attribution points, not
+ * a partition: helping-block insertion invokes victim selection, so
+ * its time includes nested policy.choose time.
+ */
+bool
+espStageBreakdown(std::uint64_t accesses, std::vector<Stage> &stages)
+{
+#if ESPNUCA_OBS_ENABLED
+    obs::ProfRegistry::instance().reset();
+    obs::setProfiling(true);
+    std::uint64_t tx = 0;
+    measureTxPerSec<EspNuca>(accesses, &tx);
+    obs::setProfiling(false);
+    if (tx == 0)
+        return false;
+    for (const auto &[name, s] :
+         obs::ProfRegistry::instance().snapshot()) {
+        for (auto &st : stages) {
+            if (name == st.site) {
+                st.nsPerTx = static_cast<double>(s.ns) /
+                             static_cast<double>(tx);
+                st.calls = s.calls;
+            }
+        }
+    }
+    return true;
+#else
+    (void)accesses;
+    (void)stages;
+    return false;
+#endif
+}
+
+int
+breakdownMain(bool ratio, bool do_stages, std::uint64_t accesses,
+              const std::string &json_path)
+{
+    double snuca_tps = 0.0;
+    double esp_tps = 0.0;
+    if (ratio) {
+        snuca_tps = measureTxPerSec<Snuca>(accesses, nullptr);
+        esp_tps = measureTxPerSec<EspNuca>(accesses, nullptr);
+        std::printf("protocol --ratio: esp_nuca=%.0f tx/s "
+                    "snuca=%.0f tx/s esp/snuca=%.3f\n",
+                    esp_tps, snuca_tps,
+                    snuca_tps > 0.0 ? esp_tps / snuca_tps : 0.0);
+    }
+    std::vector<Stage> stages = {
+        {"probe", "set.find"},
+        {"replace", "policy.choose"},
+        {"ema", "bank.ema"},
+        {"helping", "esp.helping"},
+    };
+    bool have_stages = false;
+    if (do_stages) {
+        have_stages = espStageBreakdown(accesses, stages);
+        if (have_stages) {
+            std::printf("esp_nuca stage breakdown (ns/tx):\n");
+            for (const auto &st : stages)
+                std::printf("  %-8s %-14s %8.1f ns/tx  (%llu calls)\n",
+                            st.label, st.site, st.nsPerTx,
+                            static_cast<unsigned long long>(st.calls));
+        } else {
+            std::printf("esp_nuca stage breakdown unavailable "
+                        "(build with ESPNUCA_OBS=ON)\n");
+        }
+    }
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        if (ratio) {
+            std::fprintf(f,
+                         "  \"ratio\": {\"esp_tx_per_sec\": %.0f, "
+                         "\"snuca_tx_per_sec\": %.0f, "
+                         "\"esp_over_snuca\": %.4f}%s\n",
+                         esp_tps, snuca_tps,
+                         snuca_tps > 0.0 ? esp_tps / snuca_tps : 0.0,
+                         have_stages ? "," : "");
+        }
+        if (have_stages) {
+            std::fprintf(f, "  \"stages_ns_per_tx\": {");
+            for (std::size_t i = 0; i < stages.size(); ++i)
+                std::fprintf(f, "%s\"%s\": %.1f", i ? ", " : "",
+                             stages[i].label, stages[i].nsPerTx);
+            std::fprintf(f, "}\n");
+        }
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool ratio = false;
+    bool stages = false;
+    std::uint64_t accesses = 300000;
+    std::string json_path;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto numeric_next = [&]() -> bool {
+            return i + 1 < argc && argv[i + 1][0] >= '0' &&
+                   argv[i + 1][0] <= '9';
+        };
+        if (std::strcmp(arg, "--ratio") == 0) {
+            ratio = true;
+            if (numeric_next())
+                accesses = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--stages") == 0) {
+            stages = true;
+            if (numeric_next())
+                accesses = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--breakdown-json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (ratio || stages || !json_path.empty()) {
+        if (!ratio && !stages)
+            ratio = stages = true; // --breakdown-json alone implies both
+        return breakdownMain(ratio, stages, accesses, json_path);
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -46,15 +46,14 @@ class Asr : public L2Org
         proto().probe(
             tx, local, set, kMatchAny,
             tx.reqNode, tx.searchStart,
-            [this, &tx, local, set](int way, Cycle t) {
-                if (way != kNoWay) {
-                    if (bank(local).meta(set, way).cls ==
-                        BlockClass::Replica) {
+            [this, &tx, local, set](const ProbeResult &r, Cycle t) {
+                if (r.way != kNoWay) {
+                    if (r.cls == BlockClass::Replica) {
                         // Benefit: a replica hit saved a remote access.
                         perCore_[tx.core].benefit +=
                             remoteSavingEstimate();
                     }
-                    proto().resolve(tx, L2HitAt{local, set, way, t});
+                    proto().resolve(tx, L2HitAt{local, set, r.way, t});
                 } else {
                     noteLocalMiss(tx.core, tx.addr);
                     proto().resolve(

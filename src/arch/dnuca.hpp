@@ -95,9 +95,9 @@ class Dnuca : public L2Org
         proto().probe(
             tx, target, set, kMatchAny,
             tx.reqNode, tx.searchStart,
-            [this, &tx, target, set](int way, Cycle t) {
-                if (way != kNoWay)
-                    proto().resolve(tx, L2HitAt{target, set, way, t});
+            [this, &tx, target, set](const ProbeResult &r, Cycle t) {
+                if (r.way != kNoWay)
+                    proto().resolve(tx, L2HitAt{target, set, r.way, t});
                 else
                     proto().resolve(
                         tx, L2MissAt{proto().topo().bankNode(target), t});

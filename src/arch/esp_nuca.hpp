@@ -21,6 +21,7 @@
 
 #include "arch/sp_nuca.hpp"
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_buffer.hpp"
 
 namespace espnuca {
@@ -97,6 +98,7 @@ class EspNuca : public SpNuca
     void
     onL2Displaced(const BlockMeta &blk, BankId from_bank, Cycle t) override
     {
+        ESP_PROF_SCOPE("esp.helping");
         if (blk.cls != BlockClass::Private) {
             dropDisplaced(blk, from_bank, t);
             return;
@@ -175,6 +177,7 @@ class EspNuca : public SpNuca
     void
     offerReplica(CoreId c, const BlockMeta &blk, Cycle t)
     {
+        ESP_PROF_SCOPE("esp.helping");
         // Churn throttle: replica creation is pacing-limited so that a
         // block bouncing between eviction and re-creation cannot evict
         // first-class data every round trip.

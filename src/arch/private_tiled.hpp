@@ -40,9 +40,9 @@ class PrivateTiled : public L2Org
         proto().probe(
             tx, local, set, kMatchAny,
             tx.reqNode, tx.searchStart,
-            [this, &tx, local, set](int way, Cycle t) {
-                if (way != kNoWay)
-                    proto().resolve(tx, L2HitAt{local, set, way, t});
+            [this, &tx, local, set](const ProbeResult &r, Cycle t) {
+                if (r.way != kNoWay)
+                    proto().resolve(tx, L2HitAt{local, set, r.way, t});
                 else
                     proto().resolve(
                         tx, L2MissAt{proto().topo().bankNode(local), t});

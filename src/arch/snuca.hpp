@@ -37,9 +37,9 @@ class Snuca : public L2Org
         proto().probe(
             tx, home, set, kMatchAny,
             tx.reqNode, tx.searchStart,
-            [this, &tx, home, set](int way, Cycle t) {
-                if (way != kNoWay)
-                    proto().resolve(tx, L2HitAt{home, set, way, t});
+            [this, &tx, home, set](const ProbeResult &r, Cycle t) {
+                if (r.way != kNoWay)
+                    proto().resolve(tx, L2HitAt{home, set, r.way, t});
                 else
                     proto().resolve(
                         tx, L2MissAt{proto().topo().bankNode(home), t});

@@ -20,6 +20,7 @@
 
 #include "coherence/l2_org.hpp"
 #include "coherence/protocol.hpp"
+#include "common/slab.hpp"
 
 namespace espnuca {
 
@@ -59,9 +60,9 @@ class SpNuca : public L2Org
         const std::uint32_t pset = map_.privateSet(tx.addr);
         proto().probe(
             tx, priv, pset, localMatch(), tx.reqNode, tx.searchStart,
-            [this, &tx, priv, pset](int way, Cycle t) {
-                if (way != kNoWay) {
-                    proto().resolve(tx, L2HitAt{priv, pset, way, t});
+            [this, &tx, priv, pset](const ProbeResult &r, Cycle t) {
+                if (r.way != kNoWay) {
+                    proto().resolve(tx, L2HitAt{priv, pset, r.way, t});
                     return;
                 }
                 searchShared(tx, priv, t);
@@ -117,7 +118,7 @@ class SpNuca : public L2Org
     onL2ReadHit(Transaction &tx, BankId bank, std::uint32_t set, int way,
                 Cycle t) override
     {
-        BlockMeta &m = this->bank(bank).meta(set, way);
+        const BlockMeta &m = this->bank(bank).meta(set, way);
         if (m.cls == BlockClass::Private && m.owner != tx.core) {
             // Privatization (Figure 2b step 3'): reset the private bit
             // and migrate the block to its shared home bank.
@@ -140,8 +141,8 @@ class SpNuca : public L2Org
                 // A second core touched remote private data: the block
                 // becomes first-class shared in place (it already lives
                 // in its home bank's shared set).
-                m.cls = BlockClass::Shared;
-                m.owner = kInvalidCore;
+                this->bank(bank).setClass(set, way, BlockClass::Shared,
+                                          kInvalidCore);
             }
         }
     }
@@ -219,9 +220,9 @@ class SpNuca : public L2Org
             proto().startMemory(tx, from, t);
         proto().probe(
             tx, home, sset, homeMatch(), from, t,
-            [this, &tx, home, sset](int way, Cycle t2) {
-                if (way != kNoWay) {
-                    proto().resolve(tx, L2HitAt{home, sset, way, t2});
+            [this, &tx, home, sset](const ProbeResult &r, Cycle t2) {
+                if (r.way != kNoWay) {
+                    proto().resolve(tx, L2HitAt{home, sset, r.way, t2});
                     return;
                 }
                 searchRemotePrivate(tx, home, t2);
@@ -233,7 +234,14 @@ class SpNuca : public L2Org
     searchRemotePrivate(Transaction &tx, BankId home, Cycle t)
     {
         const NodeId home_node = proto().topo().bankNode(home);
-        auto state = std::make_shared<RemoteSearch>();
+        // Fan-out state lives on a slab and is captured as a raw
+        // pointer, which keeps the probe continuations trivially
+        // copyable (a shared_ptr would reintroduce a refcount and a
+        // manage dispatch on every event relocation). Every sibling
+        // continuation fires exactly once — probes are never dropped —
+        // so the last one to fire returns the slot.
+        RemoteSearch *state = searchSlab_.acquire();
+        state->remaining = cfg_.numCores - 1;
         state->pendingResponses = cfg_.numCores - 1;
         state->lastResponse = t;
         for (CoreId c = 0; c < cfg_.numCores; ++c) {
@@ -243,27 +251,34 @@ class SpNuca : public L2Org
             const std::uint32_t pset = map_.privateSet(tx.addr);
             proto().probe(
                 tx, b, pset, remoteMatch(), home_node, t,
-                [this, &tx, b, pset, home_node, state](int way, Cycle t2) {
-                    if (state->resolved)
-                        return;
-                    if (way != kNoWay) {
-                        state->resolved = true;
-                        proto().resolve(tx, L2HitAt{b, pset, way, t2});
-                        return;
+                [this, &tx, b, pset, home_node, state](const ProbeResult &r,
+                                                       Cycle t2) {
+                    RemoteSearch &s = *state;
+                    const bool last = --s.remaining == 0;
+                    if (!s.resolved) {
+                        if (r.way != kNoWay) {
+                            s.resolved = true;
+                            proto().resolve(tx,
+                                            L2HitAt{b, pset, r.way, t2});
+                        } else {
+                            // Negative responses return to the home
+                            // bank; the all-miss verdict lands with the
+                            // slowest of them.
+                            const Cycle back = proto().mesh().deliveryTime(
+                                proto().topo().bankNode(b), home_node,
+                                cfg_.ctrlMsgBytes, t2);
+                            s.lastResponse =
+                                std::max(s.lastResponse, back);
+                            if (--s.pendingResponses == 0) {
+                                s.resolved = true;
+                                proto().resolve(
+                                    tx,
+                                    L2MissAt{home_node, s.lastResponse});
+                            }
+                        }
                     }
-                    // Negative responses return to the home bank; the
-                    // all-miss verdict lands with the slowest of them.
-                    const Cycle back = proto().mesh().deliveryTime(
-                        proto().topo().bankNode(b), home_node,
-                        cfg_.ctrlMsgBytes, t2);
-                    state->lastResponse =
-                        std::max(state->lastResponse, back);
-                    if (--state->pendingResponses == 0) {
-                        state->resolved = true;
-                        proto().resolve(
-                            tx,
-                            L2MissAt{home_node, state->lastResponse});
-                    }
+                    if (last)
+                        searchSlab_.release(state);
                 });
         }
     }
@@ -342,10 +357,15 @@ class SpNuca : public L2Org
   private:
     struct RemoteSearch
     {
+        std::uint32_t remaining = 0; //!< continuations yet to fire
         std::uint32_t pendingResponses = 0;
         Cycle lastResponse = 0;
         bool resolved = false;
     };
+    // Recycles fan-out state; events may outlive a bounded run, so the
+    // slab (whose chunks are never moved or freed while it lives) is
+    // the only safe owner.
+    Slab<RemoteSearch, 64> searchSlab_;
 };
 
 } // namespace espnuca

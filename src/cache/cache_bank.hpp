@@ -48,6 +48,7 @@ class CacheBank
           sets_(cfg.l2SetsPerBank(), CacheSet(cfg.l2Ways))
     {
         ESP_ASSERT(policy_ != nullptr, "bank needs a replacement policy");
+        wantsDemand_ = policy_->wantsDemandStream();
         if (with_monitor) {
             monitor_ = std::make_unique<HitRateMonitor>(
                 cfg, cfg.l2SetsPerBank(), cfg.l2Ways);
@@ -60,8 +61,8 @@ class CacheBank
         return static_cast<std::uint32_t>(sets_.size());
     }
 
-    CacheSet &set(std::uint32_t s) { return sets_.at(s); }
-    const CacheSet &set(std::uint32_t s) const { return sets_.at(s); }
+    CacheSet &set(std::uint32_t s) { return sets_[s]; }
+    const CacheSet &set(std::uint32_t s) const { return sets_[s]; }
 
     // -- Timing --------------------------------------------------------
 
@@ -92,11 +93,26 @@ class CacheBank
 
     // -- Content -------------------------------------------------------
 
+    /** Hint: pull set `s`'s object line into cache (hides the pointer
+     * chase of a find() scheduled to run shortly). */
+    void
+    prefetchSet(std::uint32_t s) const
+    {
+        __builtin_prefetch(&sets_[s]);
+    }
+
+    /** Hint: pull set `s`'s tag/metadata arrays into cache. */
+    void
+    prefetchTags(std::uint32_t s) const
+    {
+        sets_[s].prefetchTags();
+    }
+
     /** Find `addr` in set `s` under the class/tag match `mask`. */
     int
     find(std::uint32_t s, Addr addr, ClassMask mask) const
     {
-        return sets_.at(s).find(addr, mask);
+        return sets_[s].find(addr, mask);
     }
 
     /** Find `addr` in set `s` under an arbitrary predicate. */
@@ -104,27 +120,62 @@ class CacheBank
     int
     find(std::uint32_t s, Addr addr, Pred &&pred) const
     {
-        return sets_.at(s).find(addr, std::forward<Pred>(pred));
+        return sets_[s].find(addr, std::forward<Pred>(pred));
     }
 
     /** Find `addr` in set `s` under any class. */
     int
     findAny(std::uint32_t s, Addr addr) const
     {
-        return sets_.at(s).findAny(addr);
+        return sets_[s].findAny(addr);
     }
 
-    BlockMeta &
-    meta(std::uint32_t s, int way)
+    const BlockMeta &
+    meta(std::uint32_t s, int way) const
     {
-        return sets_.at(s).way(way);
+        return sets_[s].way(way);
     }
+
+    /** Reclassify a valid way in place (e.g. victim -> shared). */
+    void
+    setClass(std::uint32_t s, int way, BlockClass cls, CoreId owner)
+    {
+        sets_[s].setClass(way, cls, owner);
+    }
+
+    /** Set a way's dirty bit. */
+    void
+    setDirty(std::uint32_t s, int way, bool v)
+    {
+        sets_[s].setDirty(way, v);
+    }
+
+    /** Set a way's owner-token bit. */
+    void
+    setOwnerToken(std::uint32_t s, int way, bool v)
+    {
+        sets_[s].setOwnerToken(way, v);
+    }
+
+    /** Saturating demand-hit counter bump. */
+    void
+    bumpHits(std::uint32_t s, int way)
+    {
+        sets_[s].bumpHits(way);
+    }
+
+    /**
+     * Does the policy consume the per-access demand stream? Cached at
+     * construction so the probe path can skip the directory
+     * classification lookup without a virtual call.
+     */
+    bool wantsDemandStream() const { return wantsDemand_; }
 
     /** Promote to MRU. */
     void
     touch(std::uint32_t s, int way)
     {
-        sets_.at(s).touch(way);
+        sets_[s].touch(way);
     }
 
     /**
@@ -138,7 +189,8 @@ class CacheBank
     {
         if (monitor_)
             monitor_->record(s, first_class_hit);
-        policy_->onDemandAccess(s, addr, cls, first_class_hit);
+        if (wantsDemand_)
+            policy_->onDemandAccess(s, addr, cls, first_class_hit);
         if (first_class_hit)
             ++demandHits_;
         ++demandAccesses_;
@@ -153,20 +205,20 @@ class CacheBank
     insert(std::uint32_t s, const BlockMeta &incoming)
     {
         ESP_ASSERT(incoming.valid, "inserting an invalid block");
-        CacheSet &cset = sets_.at(s);
+        CacheSet &cset = sets_[s];
         ESP_ASSERT(cset.findAny(incoming.addr) == kNoWay,
                    "inserting a duplicate block");
         InsertResult res;
         const int way = policy_->chooseWay(cset, incoming.cls, context(s));
         if (way == kNoWay)
             return res;
-        BlockMeta &victim = cset.way(way);
+        const BlockMeta &victim = cset.way(way);
         if (victim.valid) {
             res.evicted = victim;
             policy_->onEvict(s, victim);
             ++evictions_;
         }
-        victim = incoming;
+        cset.assign(way, incoming);
         cset.touch(way);
         res.inserted = true;
         return res;
@@ -176,11 +228,11 @@ class CacheBank
     BlockMeta
     invalidate(std::uint32_t s, int way)
     {
-        BlockMeta &m = sets_.at(s).way(way);
-        ESP_ASSERT(m.valid, "invalidating an invalid way");
-        const BlockMeta old = m;
-        m.clear();
-        sets_.at(s).demote(way);
+        CacheSet &cset = sets_[s];
+        ESP_ASSERT(cset.way(way).valid, "invalidating an invalid way");
+        const BlockMeta old = cset.way(way);
+        cset.clearWay(way);
+        cset.demote(way);
         return old;
     }
 
@@ -287,6 +339,7 @@ class CacheBank
     std::vector<CacheSet> sets_;
     std::unique_ptr<HitRateMonitor> monitor_;
 
+    bool wantsDemand_ = false;
     std::uint32_t disabledWays_ = 0;
     Cycle freeAt_ = 0;
     Cycle waitCycles_ = 0;

@@ -1,25 +1,37 @@
 /**
  * @file
- * A w-way set with true-LRU ordering. Policies query the set through
+ * A w-way set in struct-of-arrays layout. Policies query the set through
  * class masks (the common case — how the paper's "private bit added to
  * the tag comparison" and "LRU among the helping blocks" rules are
  * expressed) or through arbitrary predicates via the template overloads.
  *
- * The per-access hot path is allocation- and indirection-free: class
- * matching is a bitmask test, and recency is kept as monotonically
- * increasing age stamps (touch/demote are O(1) stores) instead of a
- * find/erase/insert shuffle of a recency vector.
+ * Hot-path layout (DESIGN.md 5.10): the per-way tags live in one packed
+ * contiguous array and the valid/class occupancy is kept as u64 way
+ * bitmasks, so a probe is a branch-light scan over one or two cache
+ * lines instead of a stride through per-way BlockMeta objects, and every
+ * class-population count (the paper's per-set `n`) is a popcount. The
+ * full BlockMeta records stay as a parallel cold array; all mutation of
+ * the mirrored fields (addr/valid/cls) goes through the set's mutators
+ * so the hot arrays never go stale.
+ *
+ * Replacement is accelerated further by a per-(set, class-mask) victim
+ * candidate cache: lruAmong(mask) memoizes its answer and touch /
+ * demote / assign / clearWay / setClass repair or invalidate exactly
+ * the entries they can affect, so steady-state victim selection is O(1)
+ * instead of a rescan per miss.
  */
 
 #ifndef ESPNUCA_CACHE_CACHE_SET_HPP_
 #define ESPNUCA_CACHE_CACHE_SET_HPP_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "cache/block.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "obs/profiler.hpp"
 
 namespace espnuca {
 
@@ -27,17 +39,30 @@ namespace espnuca {
 inline constexpr int kNoWay = -1;
 
 /**
- * Set of `w` ways plus per-way LRU age stamps (larger = more recent).
- * All search and replacement helpers are O(w), which is
- * exact-hardware-equivalent for a 16-way bank and plenty fast in
- * simulation; recency updates are O(1).
+ * Set of `w` ways (w <= kMaxWays) in struct-of-arrays layout plus
+ * per-way LRU age stamps (larger = more recent). Probes and victim
+ * scans walk u64 candidate bitmasks over the packed tag/stamp arrays;
+ * class counts are popcounts; recency updates are O(1).
+ *
+ * All per-way storage is inline (fixed-capacity arrays, not vectors):
+ * a bank's sets live in one contiguous allocation, so a probe of a
+ * cold set costs one memory stream instead of three dependent pointer
+ * chases into separately heap-allocated tag/stamp/meta vectors.
  */
 class CacheSet
 {
   public:
-    explicit CacheSet(std::uint32_t ways) : ways_(ways), stamp_(ways)
+    /** Inline per-way capacity. Every studied geometry uses <= 16 ways
+     * (Table 2: 16-way L2, 4-way L1); raise if a config ever needs
+     * more — the way bitmasks support up to 64. */
+    static constexpr std::uint32_t kMaxWays = 16;
+
+    explicit CacheSet(std::uint32_t ways) : ways_(ways)
     {
         ESP_ASSERT(ways > 0, "set needs at least one way");
+        ESP_ASSERT(ways <= kMaxWays, "raise CacheSet::kMaxWays");
+        wayMask_ = (std::uint64_t{1} << ways) - 1;
+        tag_.fill(kInvalidAddr);
         // Initial recency order: way 0 is MRU, way w-1 is LRU — the
         // same total order the recency-stack representation started
         // with. Stamps stay unique forever: every touch takes a fresh
@@ -46,28 +71,139 @@ class CacheSet
             stamp_[i] = static_cast<std::int64_t>(ways - i);
         hi_ = static_cast<std::int64_t>(ways);
         lo_ = 1;
+        victim_.fill(kVictimUnknown);
     }
 
-    std::uint32_t numWays() const
-    {
-        return static_cast<std::uint32_t>(ways_.size());
-    }
+    std::uint32_t numWays() const { return ways_; }
 
-    BlockMeta &way(int i) { return ways_.at(static_cast<std::size_t>(i)); }
+    /** Read-only way metadata. All mutation goes through the mutators
+     *  below so the packed tag/valid/class arrays stay coherent. */
     const BlockMeta &
     way(int i) const
     {
-        return ways_.at(static_cast<std::size_t>(i));
+        checkWay(i);
+        return meta_[static_cast<std::size_t>(i)];
+    }
+
+    // -- Mutators (keep the hot arrays in sync) ------------------------
+
+    /**
+     * Overwrite a way with `m` wholesale (fills, test seeding). Does
+     * not touch recency; pair with touch() for an MRU insertion.
+     */
+    void
+    assign(int w, const BlockMeta &m)
+    {
+        checkWay(w);
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << static_cast<std::uint32_t>(w);
+        ESP_ASSERT(!m.valid || !(disabledMask_ & bit),
+                   "assigning into a fault-disabled way");
+        BlockMeta &cur = meta_[static_cast<std::size_t>(w)];
+        if (cur.valid) {
+            validMask_ &= ~bit;
+            classWays_[clsIndex(cur.cls)] &= ~bit;
+            dropVictimWay(w);
+        }
+        cur = m;
+        tag_[static_cast<std::size_t>(w)] = m.valid ? m.addr
+                                                    : kInvalidAddr;
+        if (m.valid) {
+            validMask_ |= bit;
+            classWays_[clsIndex(m.cls)] |= bit;
+            // The way keeps its old (possibly very low) stamp until the
+            // caller touches it, so it may now be the true LRU of any
+            // mask that matches its class: those memos must go.
+            dropVictimsForClass(m.cls);
+        }
+    }
+
+    /** Invalidate a way (coherence invalidation / eviction teardown). */
+    void
+    clearWay(int w)
+    {
+        checkWay(w);
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << static_cast<std::uint32_t>(w);
+        BlockMeta &cur = meta_[static_cast<std::size_t>(w)];
+        if (cur.valid) {
+            validMask_ &= ~bit;
+            classWays_[clsIndex(cur.cls)] &= ~bit;
+            dropVictimWay(w);
+        }
+        cur.clear();
+        tag_[static_cast<std::size_t>(w)] = kInvalidAddr;
+    }
+
+    /** Reclassify a valid way in place (e.g. victim -> shared). */
+    void
+    setClass(int w, BlockClass cls, CoreId owner)
+    {
+        checkWay(w);
+        BlockMeta &cur = meta_[static_cast<std::size_t>(w)];
+        ESP_ASSERT(cur.valid, "reclassifying an invalid way");
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << static_cast<std::uint32_t>(w);
+        classWays_[clsIndex(cur.cls)] &= ~bit;
+        classWays_[clsIndex(cls)] |= bit;
+        cur.cls = cls;
+        cur.owner = owner;
+        // Old-class memos may have pointed at this way; new-class memos
+        // may now be beaten by this way's stamp. Drop both families.
+        dropVictimWay(w);
+        dropVictimsForClass(cls);
+    }
+
+    /** Set the dirty bit (cold field; not mirrored). */
+    void
+    setDirty(int w, bool v)
+    {
+        checkWay(w);
+        meta_[static_cast<std::size_t>(w)].dirty = v;
+    }
+
+    /** Set the owner-token bit (cold field; not mirrored). */
+    void
+    setOwnerToken(int w, bool v)
+    {
+        checkWay(w);
+        meta_[static_cast<std::size_t>(w)].hasOwnerToken = v;
+    }
+
+    /** Saturating demand-hit counter bump (reuse filter). */
+    void
+    bumpHits(int w)
+    {
+        checkWay(w);
+        BlockMeta &cur = meta_[static_cast<std::size_t>(w)];
+        if (cur.hits < 255)
+            ++cur.hits;
+    }
+
+    // -- Search --------------------------------------------------------
+
+    /**
+     * Hint the hardware to pull the tag and metadata arrays into cache
+     * ahead of a find() known to follow shortly. Pure performance hint.
+     */
+    void
+    prefetchTags() const
+    {
+        __builtin_prefetch(tag_.data());
+        __builtin_prefetch(meta_.data());
     }
 
     /** Find a valid way holding `addr` whose class is in `mask`. */
     int
     find(Addr addr, ClassMask mask) const
     {
-        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
-            const BlockMeta &m = ways_[i];
-            if (m.valid && m.addr == addr && matches(mask, m.cls))
-                return static_cast<int>(i);
+        ESP_PROF_SCOPE("set.find");
+        const Addr *tags = tag_.data();
+        for (std::uint64_t cand = waysMatching(mask); cand != 0;
+             cand &= cand - 1) {
+            const int i = __builtin_ctzll(cand);
+            if (tags[i] == addr)
+                return i;
         }
         return kNoWay;
     }
@@ -77,10 +213,13 @@ class CacheSet
     int
     find(Addr addr, Pred &&pred) const
     {
-        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
-            const BlockMeta &m = ways_[i];
-            if (m.valid && m.addr == addr && pred(m))
-                return static_cast<int>(i);
+        const Addr *tags = tag_.data();
+        for (std::uint64_t cand = validMask_; cand != 0;
+             cand &= cand - 1) {
+            const int i = __builtin_ctzll(cand);
+            if (tags[i] == addr &&
+                pred(meta_[static_cast<std::size_t>(i)]))
+                return i;
         }
         return kNoWay;
     }
@@ -89,35 +228,60 @@ class CacheSet
     int
     findAny(Addr addr) const
     {
-        return find(addr, kMatchAny);
+        const Addr *tags = tag_.data();
+        for (std::uint64_t cand = validMask_; cand != 0;
+             cand &= cand - 1) {
+            const int i = __builtin_ctzll(cand);
+            if (tags[i] == addr)
+                return i;
+        }
+        return kNoWay;
     }
+
+    // -- Recency -------------------------------------------------------
 
     /** Promote a way to MRU. */
     void
     touch(int w)
     {
-        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
-                   "way out of range");
+        checkWay(w);
         stamp_[static_cast<std::size_t>(w)] = ++hi_;
+        // Only a memoized victim can be invalidated by gaining recency;
+        // anything else keeps every memo exact.
+        if (victimWays_ & (std::uint64_t{1}
+                           << static_cast<std::uint32_t>(w)))
+            dropVictimWay(w);
     }
 
     /** Demote a way to LRU (used when inserting low-priority blocks). */
     void
     demote(int w)
     {
-        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
-                   "way out of range");
+        checkWay(w);
         stamp_[static_cast<std::size_t>(w)] = --lo_;
+        const BlockMeta &cur = meta_[static_cast<std::size_t>(w)];
+        if (cur.valid) {
+            // The way now holds the globally smallest stamp: it IS the
+            // LRU of every mask matching its class. Repair in place.
+            const ClassMask cb = classBit(cur.cls);
+            for (std::uint32_t m = 0; m < victim_.size(); ++m) {
+                if (m & cb)
+                    victim_[m] = static_cast<std::int8_t>(w);
+            }
+            victimWays_ |= std::uint64_t{1}
+                           << static_cast<std::uint32_t>(w);
+        } else {
+            dropVictimWay(w);
+        }
     }
 
     /** Any invalid (and not fault-disabled) way, or kNoWay. */
     int
     invalidWay() const
     {
-        for (std::uint32_t i = 0; i < ways_.size(); ++i)
-            if (!ways_[i].valid && !wayDisabled(static_cast<int>(i)))
-                return static_cast<int>(i);
-        return kNoWay;
+        const std::uint64_t inv = ~(validMask_ | disabledMask_) &
+                                  wayMask_;
+        return inv != 0 ? __builtin_ctzll(inv) : kNoWay;
     }
 
     // -- Fault model ---------------------------------------------------
@@ -132,12 +296,10 @@ class CacheSet
     void
     disableWays(std::uint64_t mask)
     {
-        mask &= ways_.size() >= 64
-                    ? ~std::uint64_t{0}
-                    : (std::uint64_t{1} << ways_.size()) - 1;
-        for (std::uint32_t i = 0; i < ways_.size(); ++i)
+        mask &= wayMask_;
+        for (std::uint32_t i = 0; i < numWays(); ++i)
             if ((mask >> i) & 1u)
-                ESP_ASSERT(!ways_[i].valid,
+                ESP_ASSERT(!meta_[i].valid,
                            "disabling a way that holds data");
         disabledMask_ |= mask;
     }
@@ -158,20 +320,31 @@ class CacheSet
                    __builtin_popcountll(disabledMask_));
     }
 
+    // -- Replacement helpers -------------------------------------------
+
     /** LRU-most valid way whose class is in `mask`, or kNoWay. */
     int
     lruAmong(ClassMask mask) const
     {
+        ESP_PROF_SCOPE("set.lru");
+        const std::int8_t cached = victim_[mask];
+        if (cached != kVictimUnknown)
+            return cached;
         int best = kNoWay;
         std::int64_t best_stamp = 0;
-        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
-            const BlockMeta &m = ways_[i];
-            if (!m.valid || !matches(mask, m.cls))
-                continue;
-            if (best == kNoWay || stamp_[i] < best_stamp) {
-                best = static_cast<int>(i);
-                best_stamp = stamp_[i];
+        for (std::uint64_t cand = waysMatching(mask); cand != 0;
+             cand &= cand - 1) {
+            const int i = __builtin_ctzll(cand);
+            if (best == kNoWay ||
+                stamp_[static_cast<std::size_t>(i)] < best_stamp) {
+                best = i;
+                best_stamp = stamp_[static_cast<std::size_t>(i)];
             }
+        }
+        if (best != kNoWay) {
+            victim_[mask] = static_cast<std::int8_t>(best);
+            victimWays_ |= std::uint64_t{1}
+                           << static_cast<std::uint32_t>(best);
         }
         return best;
     }
@@ -183,13 +356,15 @@ class CacheSet
     {
         int best = kNoWay;
         std::int64_t best_stamp = 0;
-        for (std::uint32_t i = 0; i < ways_.size(); ++i) {
-            const BlockMeta &m = ways_[i];
-            if (!m.valid || !pred(m))
+        for (std::uint64_t cand = validMask_; cand != 0;
+             cand &= cand - 1) {
+            const int i = __builtin_ctzll(cand);
+            if (!pred(meta_[static_cast<std::size_t>(i)]))
                 continue;
-            if (best == kNoWay || stamp_[i] < best_stamp) {
-                best = static_cast<int>(i);
-                best_stamp = stamp_[i];
+            if (best == kNoWay ||
+                stamp_[static_cast<std::size_t>(i)] < best_stamp) {
+                best = i;
+                best_stamp = stamp_[static_cast<std::size_t>(i)];
             }
         }
         return best;
@@ -206,11 +381,8 @@ class CacheSet
     std::uint32_t
     countIf(ClassMask mask) const
     {
-        std::uint32_t n = 0;
-        for (const auto &m : ways_)
-            if (m.valid && matches(mask, m.cls))
-                ++n;
-        return n;
+        return static_cast<std::uint32_t>(
+            __builtin_popcountll(waysMatching(mask)));
     }
 
     /** Count valid ways satisfying `pred`. */
@@ -219,9 +391,12 @@ class CacheSet
     countIf(Pred &&pred) const
     {
         std::uint32_t n = 0;
-        for (const auto &m : ways_)
-            if (m.valid && pred(m))
+        for (std::uint64_t cand = validMask_; cand != 0;
+             cand &= cand - 1) {
+            if (pred(meta_[static_cast<std::size_t>(
+                    __builtin_ctzll(cand))]))
                 ++n;
+        }
         return n;
     }
 
@@ -229,29 +404,116 @@ class CacheSet
     std::uint32_t
     helpingCount() const
     {
-        return countIf(kMatchHelping);
+        return static_cast<std::uint32_t>(__builtin_popcountll(
+            classWays_[clsIndex(BlockClass::Replica)] |
+            classWays_[clsIndex(BlockClass::Victim)]));
     }
 
     /** Recency position of a way: 0 = MRU .. w-1 = LRU (testing aid). */
     std::uint32_t
     recencyOf(int w) const
     {
-        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
-                   "way out of range");
+        checkWay(w);
         const std::int64_t s = stamp_[static_cast<std::size_t>(w)];
         std::uint32_t rank = 0;
-        for (std::uint32_t i = 0; i < stamp_.size(); ++i)
+        for (std::uint32_t i = 0; i < ways_; ++i)
             if (stamp_[i] > s)
                 ++rank;
         return rank;
     }
 
+    /** Memoized victim for `mask`, kNoWay when not cached (tests). */
+    int
+    cachedVictim(ClassMask mask) const
+    {
+        const std::int8_t v = victim_[mask];
+        return v == kVictimUnknown ? kNoWay : v;
+    }
+
   private:
-    std::vector<BlockMeta> ways_;
-    std::uint64_t disabledMask_ = 0;  //!< fault-disabled ways (bit per way)
-    std::vector<std::int64_t> stamp_; //!< LRU age, larger = more recent
+    static constexpr std::int8_t kVictimUnknown = -1;
+
+    static std::uint32_t
+    clsIndex(BlockClass c)
+    {
+        return static_cast<std::uint32_t>(c);
+    }
+
+    void
+    checkWay(int w) const
+    {
+        ESP_ASSERT(w >= 0 && static_cast<std::uint32_t>(w) < numWays(),
+                   "way out of range");
+        (void)w;
+    }
+
+    /** Valid ways whose class is in `mask` (the tag-comparison filter). */
+    std::uint64_t
+    waysMatching(ClassMask mask) const
+    {
+        std::uint64_t r = 0;
+        if (mask & kMatchPrivate)
+            r |= classWays_[clsIndex(BlockClass::Private)];
+        if (mask & kMatchShared)
+            r |= classWays_[clsIndex(BlockClass::Shared)];
+        if (mask & kMatchReplica)
+            r |= classWays_[clsIndex(BlockClass::Replica)];
+        if (mask & kMatchVictim)
+            r |= classWays_[clsIndex(BlockClass::Victim)];
+        return r;
+    }
+
+    /** Forget every memoized victim that points at way `w`. */
+    void
+    dropVictimWay(int w) const
+    {
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << static_cast<std::uint32_t>(w);
+        if (!(victimWays_ & bit))
+            return;
+        for (auto &v : victim_)
+            if (v == static_cast<std::int8_t>(w))
+                v = kVictimUnknown;
+        victimWays_ &= ~bit;
+    }
+
+    /** Forget every memoized victim for masks matching class `c`. */
+    void
+    dropVictimsForClass(BlockClass c) const
+    {
+        const ClassMask cb = classBit(c);
+        for (std::uint32_t m = 0; m < victim_.size(); ++m)
+            if (m & cb)
+                victim_[m] = kVictimUnknown;
+        std::uint64_t ways = 0;
+        for (const auto &v : victim_)
+            if (v != kVictimUnknown)
+                ways |= std::uint64_t{1}
+                        << static_cast<std::uint32_t>(v);
+        victimWays_ = ways;
+    }
+
+    // Hot arrays: packed tags (kInvalidAddr when the way is invalid so a
+    // probe needs no separate valid check), occupancy bitmasks, stamps.
+    // Inline so the whole set is one contiguous object (see class doc).
+    std::array<Addr, kMaxWays> tag_;
+    std::uint32_t ways_ = 0;
+    std::uint64_t validMask_ = 0;
+    std::uint64_t wayMask_ = 0;
+    std::array<std::uint64_t, 4> classWays_{}; //!< valid ways per class
+    std::uint64_t disabledMask_ = 0; //!< fault-disabled ways (bit per way)
+    std::array<std::int64_t, kMaxWays> stamp_{}; //!< LRU age, larger = newer
     std::int64_t hi_ = 0;             //!< last MRU stamp handed out
     std::int64_t lo_ = 0;             //!< next LRU stamp is lo_ - 1
+
+    // Victim candidate cache, one memo per ClassMask value; lazily
+    // filled by lruAmong(mask) and repaired by the mutators (mutable:
+    // memoization only, never observable).
+    mutable std::array<std::int8_t, kMatchAny + 1> victim_;
+    mutable std::uint64_t victimWays_ = 0; //!< ways some memo points at
+
+    // Cold per-way metadata; addr/valid/cls mirror the hot arrays.
+    std::array<BlockMeta, kMaxWays> meta_{};
 };
 
 } // namespace espnuca

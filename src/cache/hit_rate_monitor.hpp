@@ -23,6 +23,7 @@
 #include "cache/replacement.hpp"
 #include "common/config.hpp"
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 #include "stats/ema.hpp"
 
 namespace espnuca {
@@ -44,6 +45,7 @@ class HitRateMonitor
           hrE_(cfg.emaBits, cfg.emaShift),
           dShift_(cfg.degradationShift),
           period_(cfg.monitorPeriod),
+          batch_(cfg.emaBatch),
           maxNmax_(ways >= 2 ? ways - 2 : 0),
           nmax_(initial_nmax <= maxNmax_ ? initial_nmax : maxNmax_),
           categories_(num_sets, SetCategory::Conventional)
@@ -79,26 +81,34 @@ class HitRateMonitor
     void
     record(std::uint32_t set_index, bool first_class_hit)
     {
-        switch (categories_.at(set_index)) {
-          case SetCategory::SampledConventional:
-            hrC_.record(first_class_hit);
-            break;
-          case SetCategory::Reference:
-            hrR_.record(first_class_hit);
-            break;
-          case SetCategory::Explorer:
-            hrE_.record(first_class_hit);
-            break;
-          case SetCategory::Conventional:
+        // The vast majority of sets are unsampled; bail out before any
+        // profiling bookkeeping so the common case is one table load.
+        const SetCategory cat = categories_[set_index];
+        if (cat == SetCategory::Conventional)
             return; // unsampled sets do not advance the controller
-        }
+        ESP_PROF_SCOPE("bank.ema");
+        BatchedShiftEma *ema = cat == SetCategory::SampledConventional
+                                   ? &hrC_
+                                   : cat == SetCategory::Reference ? &hrR_
+                                                                   : &hrE_;
+        ema->record(first_class_hit);
+        if (!batch_)
+            ema->flush(); // compatibility mode: per-access updates
         if (++references_ >= period_) {
             references_ = 0;
+            // The buffered samples are replayed in arrival order before
+            // the controller reads the estimates, so the register values
+            // it sees are bit-identical to per-access updating.
+            hrC_.flush();
+            hrR_.flush();
+            hrE_.flush();
             updateNmax();
         }
     }
 
-    /** Estimated hit rates (diagnostics, sensitivity benches). */
+    /** Estimated hit rates (diagnostics, sensitivity benches). Reads
+     *  flush the sample buffers so mid-period values match the
+     *  per-access-update mode exactly. */
     std::uint32_t hrConventional() const { return hrC_.raw(); }
     std::uint32_t hrReference() const { return hrR_.raw(); }
     std::uint32_t hrExplorer() const { return hrE_.raw(); }
@@ -152,11 +162,14 @@ class HitRateMonitor
         place(SetCategory::Explorer, cfg.explorerSamples);
     }
 
-    ShiftEma hrC_;
-    ShiftEma hrR_;
-    ShiftEma hrE_;
+    // mutable: raw() replays buffered samples (memo-style bookkeeping
+    // that never changes the observable estimate sequence).
+    mutable BatchedShiftEma hrC_;
+    mutable BatchedShiftEma hrR_;
+    mutable BatchedShiftEma hrE_;
     std::uint32_t dShift_;
     std::uint32_t period_;
+    bool batch_;
     std::uint32_t maxNmax_;
     std::uint32_t nmax_;
     std::uint32_t references_ = 0;

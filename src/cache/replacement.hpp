@@ -25,6 +25,7 @@
 #include "cache/cache_set.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "obs/profiler.hpp"
 
 namespace espnuca {
 
@@ -57,6 +58,14 @@ class ReplacementPolicy
     /** Pick the fill way for an incoming block of class `incoming`. */
     virtual int chooseWay(const CacheSet &set, BlockClass incoming,
                           const ReplacementContext &ctx) const = 0;
+
+    /**
+     * Does the policy consume the per-access demand stream? Only
+     * utility-learning policies (shadow tags) do; when false the bank
+     * skips the classification lookup and the virtual onDemandAccess
+     * call on every probe, which is the common case on the hot path.
+     */
+    virtual bool wantsDemandStream() const { return false; }
 
     /** Observe a demand access (for utility-learning policies). */
     virtual void
@@ -168,6 +177,7 @@ class ProtectedLru : public ReplacementPolicy
     chooseWay(const CacheSet &set, BlockClass incoming,
               const ReplacementContext &ctx) const override
     {
+        ESP_PROF_SCOPE("policy.choose");
         const std::uint32_t limit = limitFor(ctx);
         const std::uint32_t n = set.helpingCount();
         if (isHelping(incoming)) {
@@ -223,6 +233,8 @@ class ShadowTagPolicy : public ReplacementPolicy
           state_(num_sets, SetState{total_ways / 2, {}, {}, 0, 0, 0})
     {
     }
+
+    bool wantsDemandStream() const override { return true; }
 
     int
     chooseWay(const CacheSet &set, BlockClass incoming,

@@ -72,6 +72,10 @@ class Directory
   public:
     explicit Directory(const SystemConfig &cfg) : cfg_(cfg) {}
 
+    /** Hint: pull a's home slot into cache ahead of a find/entry known
+     * to follow shortly (e.g. the noteAccess of a just-issued access). */
+    void prefetch(Addr a) const { map_.prefetch(a); }
+
     /** Look up without creating; nullptr when the block is off chip. */
     const BlockInfo *
     find(Addr a) const

@@ -61,10 +61,24 @@ class L1Cache
 
     bool has(Addr a) const { return lookup(a) != kNoWay; }
 
-    BlockMeta &
-    meta(Addr a, int way)
+    const BlockMeta &
+    meta(Addr a, int way) const
     {
         return sets_[setIndex(a)].way(way);
+    }
+
+    /** Mark a resident block dirty (store hit / write permission). */
+    void
+    markDirty(Addr a, int way)
+    {
+        sets_[setIndex(a)].setDirty(way, true);
+    }
+
+    /** Grant or revoke this copy's owner token. */
+    void
+    setOwnerToken(Addr a, int way, bool v)
+    {
+        sets_[setIndex(a)].setOwnerToken(way, v);
     }
 
     /** Promote a resident block to MRU. */
@@ -89,13 +103,14 @@ class L1Cache
             way = s.lruWay();
             evicted = s.way(way);
         }
-        BlockMeta &m = s.way(way);
+        BlockMeta m;
         m.addr = a;
         m.valid = true;
         m.dirty = dirty;
         m.cls = BlockClass::Private; // unused by L1
         m.owner = kInvalidCore;
         m.hasOwnerToken = owner_token;
+        s.assign(way, m);
         s.touch(way);
         ++fills_;
         return evicted;
@@ -109,7 +124,7 @@ class L1Cache
         const int way = s.findAny(a);
         ESP_ASSERT(way != kNoWay, "invalidating a block not in L1");
         const BlockMeta old = s.way(way);
-        s.way(way).clear();
+        s.clearWay(way);
         s.demote(way);
         ++invalidations_;
         return old;

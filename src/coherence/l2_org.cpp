@@ -16,17 +16,17 @@ L2Org::invalidateAllL2Copies(Addr a)
     const BlockInfo *e = d.find(a);
     if (e == nullptr)
         return 0;
-    std::vector<BankId> targets;
-    for (BankId b = 0; b < cfg_.l2Banks; ++b)
-        if (e->hasL2Copy(b))
-            targets.push_back(b);
-    for (BankId b : targets) {
+    // Snapshot the copy mask before the removals mutate the entry; the
+    // ascending bit walk preserves the old target-list order.
+    const std::uint64_t targets = e->l2Copies;
+    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
+        const BankId b = static_cast<BankId>(__builtin_ctzll(m));
         const auto [set, way] = findCopy(b, a);
         ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
         banks_[b]->invalidate(set, way);
         d.removeL2(a, b);
     }
-    return static_cast<std::uint32_t>(targets.size());
+    return static_cast<std::uint32_t>(__builtin_popcountll(targets));
 }
 
 InsertResult
@@ -41,10 +41,11 @@ L2Org::applyInsert(BankId b, std::uint32_t set, const BlockMeta &blk,
     if (e != nullptr && e->hasL2Copy(b)) {
         const auto [eset, eway] = findCopy(b, blk.addr);
         ESP_ASSERT(eway != kNoWay, "directory bit without a bank copy");
-        BlockMeta &m = banks_[b]->meta(eset, eway);
-        m.dirty = m.dirty || blk.dirty;
+        const BlockMeta &m = banks_[b]->meta(eset, eway);
+        if (blk.dirty && !m.dirty)
+            banks_[b]->setDirty(eset, eway, true);
         if (owner_token && !m.hasOwnerToken) {
-            m.hasOwnerToken = true;
+            banks_[b]->setOwnerToken(eset, eway, true);
             proto().dir().setOwner(blk.addr, OwnerKind::L2Bank, b);
         }
         banks_[b]->touch(eset, eway);
@@ -97,10 +98,11 @@ L2Org::storeOrRefresh(BankId b, std::uint32_t set, const BlockMeta &blk,
 {
     const int way = banks_[b]->findAny(set, blk.addr);
     if (way != kNoWay) {
-        BlockMeta &m = banks_[b]->meta(set, way);
-        m.dirty = m.dirty || blk.dirty;
+        const BlockMeta &m = banks_[b]->meta(set, way);
+        if (blk.dirty && !m.dirty)
+            banks_[b]->setDirty(set, way, true);
         if (owner_token && !m.hasOwnerToken) {
-            m.hasOwnerToken = true;
+            banks_[b]->setOwnerToken(set, way, true);
             proto().dir().setOwner(blk.addr, OwnerKind::L2Bank, b);
         }
         banks_[b]->touch(set, way);

@@ -17,13 +17,11 @@
 
 #include "cache/address_map.hpp"
 #include "cache/cache_bank.hpp"
+#include "coherence/protocol.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 
 namespace espnuca {
-
-class Protocol;
-struct Transaction;
 
 /** Interface every studied cache architecture implements. */
 class L2Org
@@ -174,6 +172,70 @@ class L2Org
     Protocol *proto_ = nullptr;
     std::vector<std::unique_ptr<CacheBank>> banks_;
 };
+
+/**
+ * Raw-callable probe (declared in protocol.hpp): defined here because
+ * the body needs CacheBank and L2Org complete. Must mirror the ProbeFn
+ * overload in protocol_search.cpp, which delegates to this template so
+ * the semantics cannot drift.
+ */
+template <typename CB, typename>
+void
+Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
+                ClassMask match, NodeId from_node, Cycle t, CB cb)
+{
+    if (tracer_)
+        tracer_->setCurrentTx(tx.id);
+    CacheBank &b = org_.bank(bank);
+    // The probe event fires after at least one event-queue hop; start
+    // pulling the set's object line (and, once that lands, its tag and
+    // metadata arrays) toward the cache now so the find() below doesn't
+    // eat the DRAM misses on the critical path.
+    b.prefetchSet(set_index);
+    const NodeId node = topo_.bankNode(bank);
+    const Cycle arrival =
+        mesh_.deliveryTime(from_node, node, cfg_.ctrlMsgBytes, t);
+    const Cycle tag_done = b.tagProbe(arrival);
+    b.prefetchTags(set_index);
+    // The tag match is evaluated when the probe event fires, so a block
+    // migrated or displaced in the meantime is genuinely missed (the
+    // "false misses due to migrating blocks" of token coherence).
+    // The transaction may already have completed when the event fires
+    // (a sibling probe of a parallel fan-out hit first and finish()
+    // destroyed it), so the lambda captures the address by value; late
+    // continuations bail out on their own resolved flag before touching
+    // the transaction.
+    eq_.scheduleAt(tag_done, [this, addr = tx.addr, &b, set_index, match,
+                              cb = std::move(cb), txid = tx.id,
+                              core = tx.core]() {
+        ESP_PROF_SCOPE("proto.probe");
+        const Cycle tag_done = eq_.now(); // the event fires at tag_done
+        ProbeResult r;
+        r.way = b.find(set_index, addr, match);
+        if (r.way != kNoWay) {
+            r.cls = b.meta(set_index, r.way).cls;
+            r.firstClassHit = isFirstClass(r.cls);
+        }
+        // Demand-stream accounting (h = 1 only on a first-class hit,
+        // paper 3.3). Only the utility-learning policies consume the
+        // demand block classification; for everyone else the bank skips
+        // the policy callback, so the directory lookup that computes the
+        // classification is skipped too.
+        BlockClass demand_cls = BlockClass::Private;
+        if (b.wantsDemandStream()) {
+            const BlockInfo *e = dir_.find(addr);
+            if (e && e->sharedStatus)
+                demand_cls = BlockClass::Shared;
+        }
+        b.recordDemand(set_index, addr, demand_cls, r.firstClassHit);
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceKind::BankProbe, tag_done, txid,
+                            addr, static_cast<std::uint16_t>(b.id()),
+                            static_cast<std::uint8_t>(core),
+                            static_cast<std::uint32_t>(r.way + 1));
+        cb(r, tag_done);
+    });
+}
 
 } // namespace espnuca
 

@@ -60,11 +60,24 @@ class L2Org;
 // lives in common/types.hpp — the core model issues it, we complete it.
 
 /**
- * Probe continuation: way (kNoWay on miss) and tag-check completion
+ * Typed outcome of a bank tag probe, captured while the set is at hand
+ * so continuations never re-read way metadata: the way (kNoWay on
+ * miss), whether the hit was on a first-class block (the paper's h
+ * signal), and the hit block's class.
+ */
+struct ProbeResult
+{
+    int way = kNoWay;
+    bool firstClassHit = false;              //!< hit AND first-class
+    BlockClass cls = BlockClass::Private;    //!< class when way != kNoWay
+};
+
+/**
+ * Probe continuation: typed probe outcome and tag-check completion
  * time. Sized for the largest search closure (SP-NUCA's parallel
  * remote fan-out captures ~44 bytes); stays inline on the hot path.
  */
-using ProbeFn = InlineFn<void(int, Cycle), 48>;
+using ProbeFn = InlineFn<void(const ProbeResult &, Cycle), 48>;
 
 /** One in-flight miss transaction. */
 struct Transaction
@@ -95,10 +108,61 @@ struct Transaction
     /** The initiating reference plus any MSHR-merged ones. */
     struct Waiter
     {
-        Cycle issue;
+        Cycle issue = 0;
         OpDone done;
     };
-    std::vector<Waiter> waiters;
+
+    /**
+     * Waiter container with the first entry inline: every transaction
+     * has exactly one waiter (its initiating reference) unless MSHR
+     * merges add more, so the overflow vector — and the per-transaction
+     * heap round trip it would cost — only materializes on a merge.
+     */
+    struct WaiterList
+    {
+        Waiter first;             //!< the initiating reference
+        std::vector<Waiter> rest; //!< MSHR-merged extras, in order
+        std::uint32_t count = 0;
+
+        void
+        push_back(Waiter w)
+        {
+            if (count == 0)
+                first = std::move(w);
+            else
+                rest.push_back(std::move(w));
+            ++count;
+        }
+
+        std::size_t size() const { return count; }
+
+        template <typename List, typename W> struct Iter
+        {
+            List *l;
+            std::uint32_t i;
+            W &operator*() const
+            {
+                return i == 0 ? l->first : l->rest[i - 1];
+            }
+            Iter &operator++()
+            {
+                ++i;
+                return *this;
+            }
+            bool operator!=(const Iter &o) const { return i != o.i; }
+        };
+        Iter<WaiterList, Waiter> begin() { return {this, 0}; }
+        Iter<WaiterList, Waiter> end() { return {this, count}; }
+        Iter<const WaiterList, const Waiter> begin() const
+        {
+            return {this, 0};
+        }
+        Iter<const WaiterList, const Waiter> end() const
+        {
+            return {this, count};
+        }
+    };
+    WaiterList waiters;
 };
 
 /** Per-service-level latency accounting (Figure 6). */
@@ -151,13 +215,30 @@ class Protocol
 
     /**
      * Probe one bank: bills the mesh hop(s) from `from_node`, the bank's
-     * tag occupancy, and calls `cb(way, t_done)` at tag-check completion
-     * (way == kNoWay on miss). The match mask models the tag
+     * tag occupancy, and calls `cb(result, t_done)` at tag-check
+     * completion (result.way == kNoWay on miss). The match mask models the tag
      * comparison, including the private bit — a trivially-copyable
      * class filter, so scheduling the probe allocates nothing for it.
      */
     void probe(Transaction &tx, BankId bank, std::uint32_t set_index,
                ClassMask match, NodeId from_node, Cycle t, ProbeFn cb);
+
+    /**
+     * Raw-callable probe: identical semantics, but the continuation
+     * keeps its concrete type instead of being erased into a ProbeFn.
+     * The scheduled probe event then captures the search lambda
+     * directly — for the (trivially copyable) architecture
+     * continuations the whole closure relocates by memcpy and fires
+     * without an indirect dispatch, which matters at ~5 probes per
+     * ESP-NUCA transaction. Defined at the bottom of l2_org.hpp, where
+     * CacheBank and L2Org are complete; every architecture TU includes
+     * that header.
+     */
+    template <typename CB,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<CB>, ProbeFn>>>
+    void probe(Transaction &tx, BankId bank, std::uint32_t set_index,
+               ClassMask match, NodeId from_node, Cycle t, CB cb);
 
     /**
      * Typed stage entry: the search found the block in a bank. The
@@ -379,25 +460,39 @@ class Protocol
     /**
      * FIFO of transactions serialized on one block. The front entry is
      * the current holder (kept as a placeholder once started); the
-     * rest wait. A headed vector instead of a deque: queues are almost
-     * always depth 1-2, so one inline buffer beats chunked nodes.
+     * rest wait. Queues are almost always depth 1 (a lock lives exactly
+     * one uncontended transaction), so the first entry is stored inline
+     * — the overflow vector, and with it any heap traffic, only exists
+     * under real contention.
      */
     struct LockQueue
     {
-        std::vector<EventFn> q;
-        std::uint32_t head = 0;
+        EventFn first;             //!< inline slot (the common case)
+        std::vector<EventFn> rest; //!< contention overflow, in order
+        std::uint32_t head = 0;    //!< popped entries; 0 = first is front
+        std::uint32_t count = 0;   //!< live entries
 
-        bool empty() const { return head == q.size(); }
-        EventFn &front() { return q[head]; }
-        void push(EventFn fn) { q.push_back(std::move(fn)); }
-        std::size_t size() const { return q.size() - head; }
+        bool empty() const { return count == 0; }
+        std::size_t size() const { return count; }
+        EventFn &front() { return head == 0 ? first : rest[head - 1]; }
+
+        void
+        push(EventFn fn)
+        {
+            if (count == 0 && head == 0)
+                first = std::move(fn);
+            else
+                rest.push_back(std::move(fn));
+            ++count;
+        }
 
         void
         pop()
         {
             ++head;
-            if (head == q.size()) {
-                q.clear();
+            --count;
+            if (count == 0) {
+                rest.clear();
                 head = 0;
             }
         }

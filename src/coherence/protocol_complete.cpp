@@ -49,6 +49,10 @@ Protocol::finish(Transaction *tx, Cycle completion)
         auto it = live_.find(id);
         ESP_ASSERT(it != live_.end(), "finishing a dead transaction");
         Transaction *tx = it->second;
+        // The fill placement and the L1 fill below both probe the
+        // block's directory entry; warm its slot while the transition
+        // and attribution bookkeeping run.
+        dir_.prefetch(tx->addr);
         if (tracer_)
             tracer_->setCurrentTx(id);
 

@@ -28,12 +28,13 @@ Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
     Cycle last_ack = t_ordering;
     const NodeId home = topo_.bankNode(map_.sharedBank(tx.addr));
 
-    // Invalidate every other L1 holder.
-    std::vector<L1Id> l1_targets;
-    for (L1Id h = 0; h < cfg_.l1Count(); ++h)
-        if (h != self && e->hasL1Holder(h))
-            l1_targets.push_back(h);
-    for (L1Id h : l1_targets) {
+    // Invalidate every other L1 holder. The holder set is snapshot as
+    // a bitmask (the drops below mutate the live entry) and walked in
+    // ascending L1Id order, matching the old target-list iteration.
+    const std::uint32_t l1_targets =
+        e->l1Holders & ~(std::uint32_t{1} << self);
+    for (std::uint32_t m = l1_targets; m != 0; m &= m - 1) {
+        const L1Id h = static_cast<L1Id>(__builtin_ctz(m));
         const NodeId n = topo_.coreNode(coreOfL1(h));
         const Cycle t_inv =
             mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
@@ -45,14 +46,10 @@ Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
     }
 
     // Invalidate every L2 copy (tokens flow to the writer).
-    std::vector<BankId> l2_targets;
     e = dir_.find(tx.addr); // may have been released above
-    if (e != nullptr) {
-        for (BankId b = 0; b < cfg_.l2Banks; ++b)
-            if (e->hasL2Copy(b))
-                l2_targets.push_back(b);
-    }
-    for (BankId b : l2_targets) {
+    const std::uint64_t l2_targets = e != nullptr ? e->l2Copies : 0;
+    for (std::uint64_t m = l2_targets; m != 0; m &= m - 1) {
+        const BankId b = static_cast<BankId>(__builtin_ctzll(m));
         const NodeId n = topo_.bankNode(b);
         const Cycle t_inv =
             mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
@@ -76,20 +73,18 @@ Protocol::sweepForWrite(Transaction &tx)
     if (e == nullptr)
         return;
     const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
-    std::vector<L1Id> l1_targets;
-    for (L1Id h = 0; h < cfg_.l1Count(); ++h)
-        if (h != self && e->hasL1Holder(h))
-            l1_targets.push_back(h);
-    for (L1Id h : l1_targets)
-        dropL1Copy(tx.addr, h);
+    // Snapshot the holder masks before mutating the live entry; the
+    // ascending bit walk preserves the old target-list order.
+    const std::uint32_t l1_targets =
+        e->l1Holders & ~(std::uint32_t{1} << self);
+    for (std::uint32_t m = l1_targets; m != 0; m &= m - 1)
+        dropL1Copy(tx.addr, static_cast<L1Id>(__builtin_ctz(m)));
     e = dir_.find(tx.addr);
     if (e == nullptr)
         return;
-    std::vector<BankId> l2_targets;
-    for (BankId b = 0; b < cfg_.l2Banks; ++b)
-        if (e->hasL2Copy(b))
-            l2_targets.push_back(b);
-    for (BankId b : l2_targets) {
+    const std::uint64_t l2_targets = e->l2Copies;
+    for (std::uint64_t m = l2_targets; m != 0; m &= m - 1) {
+        const BankId b = static_cast<BankId>(__builtin_ctzll(m));
         const auto [set, way] = org_.findCopy(b, tx.addr);
         ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
         org_.bank(b).invalidate(set, way);
@@ -130,11 +125,10 @@ Protocol::fillRequesterL1(Transaction &tx)
     // lock-serialized read filled it before this same-core write/read).
     const int resident = l1.lookup(tx.addr);
     if (resident != kNoWay) {
-        BlockMeta &m = l1.meta(tx.addr, resident);
         l1.touch(tx.addr, resident);
         if (tx.isWrite) {
-            m.dirty = true;
-            m.hasOwnerToken = true;
+            l1.markDirty(tx.addr, resident);
+            l1.setOwnerToken(tx.addr, resident, true);
             dir_.setOwner(tx.addr, OwnerKind::L1, id);
         }
         return;
@@ -165,7 +159,10 @@ Protocol::handleL1Eviction(CoreId c, L1Id id, const BlockMeta &evicted,
 {
     // Let the organization place the block first so the directory entry
     // (and the block's private/shared status) survives the L1 -> L2
-    // move; only then clear the L1 holder bit.
+    // move; only then clear the L1 holder bit. The placement path ends
+    // in directory updates for this address; warm the slot while the
+    // organization computes the target bank/set.
+    dir_.prefetch(evicted.addr);
     const bool stored = org_.onL1Eviction(c, evicted, t);
     dir_.removeL1(evicted.addr, id);
     if (!stored && evicted.dirty)

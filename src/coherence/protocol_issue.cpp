@@ -46,11 +46,19 @@ Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
 {
     ESP_PROF_SCOPE("proto.access");
     a = map_.blockAddr(a);
+    // Every path below ends in hash probes of these tables (the
+    // store-permission check or begin()'s noteAccess on the directory,
+    // the MSHR merge lookup, acquireLock on the lock table); start
+    // pulling their home slots in while the L1 lookup runs.
+    dir_.prefetch(a);
+    locks_.prefetch(a);
     ++accesses_;
     const bool is_write = t == AccessType::Store;
     const bool instr = t == AccessType::Ifetch;
     const L1Id id = l1IdOf(c, instr);
     L1Cache &l1 = l1s_[id];
+    const MshrKey key{c, a, instr, is_write};
+    mshrs_.prefetch(key);
     const Cycle issue = eq_.now();
 
     const int way = l1.lookup(a);
@@ -67,7 +75,7 @@ Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
         if (serviceable) {
             l1.touch(a, way);
             if (is_write)
-                l1.meta(a, way).dirty = true;
+                l1.markDirty(a, way);
             ++l1Hits_;
             const Cycle lat = cfg_.l1Latency;
             auto &ls = levels_[static_cast<std::size_t>(
@@ -83,7 +91,6 @@ Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
 
     // Miss or write upgrade: merge into an existing transaction if one
     // matches, otherwise start a new one behind the block lock.
-    const MshrKey key{c, a, instr, is_write};
     auto it = mshrs_.find(key);
     if (it != mshrs_.end()) {
         it->second->waiters.push_back({issue, std::move(done)});

@@ -21,41 +21,13 @@ void
 Protocol::probe(Transaction &tx, BankId bank, std::uint32_t set_index,
                 ClassMask match, NodeId from_node, Cycle t, ProbeFn cb)
 {
-    if (tracer_)
-        tracer_->setCurrentTx(tx.id);
-    const NodeId node = topo_.bankNode(bank);
-    const Cycle arrival =
-        mesh_.deliveryTime(from_node, node, cfg_.ctrlMsgBytes, t);
-    CacheBank &b = org_.bank(bank);
-    const Cycle tag_done = b.tagProbe(arrival);
-    // The tag match is evaluated when the probe event fires, so a block
-    // migrated or displaced in the meantime is genuinely missed (the
-    // "false misses due to migrating blocks" of token coherence).
-    // The transaction may already have completed when the event fires
-    // (a sibling probe of a parallel fan-out hit first and finish()
-    // destroyed it), so the lambda captures the address by value; late
-    // continuations bail out on their own resolved flag before touching
-    // the transaction.
-    eq_.scheduleAt(tag_done, [this, addr = tx.addr, &b, set_index, match,
-                              cb = std::move(cb), tag_done, txid = tx.id,
-                              core = tx.core]() {
-        const int way = b.find(set_index, addr, match);
-        // Demand-stream accounting for the monitor and learning policies
-        // (h = 1 only on a first-class hit, paper 3.3).
-        const BlockInfo *e = dir_.find(addr);
-        const BlockClass demand_cls = (e && e->sharedStatus)
-                                          ? BlockClass::Shared
-                                          : BlockClass::Private;
-        const bool fc_hit =
-            way != kNoWay && isFirstClass(b.meta(set_index, way).cls);
-        b.recordDemand(set_index, addr, demand_cls, fc_hit);
-        if (tracer_ && tracer_->enabled())
-            tracer_->record(obs::TraceKind::BankProbe, tag_done, txid,
-                            addr, static_cast<std::uint16_t>(b.id()),
-                            static_cast<std::uint8_t>(core),
-                            static_cast<std::uint32_t>(way + 1));
-        cb(way, tag_done);
-    });
+    // Delegate to the raw-callable template (l2_org.hpp) through a
+    // shim lambda; type-erased callers keep working, and the two entry
+    // points share one body.
+    probe(tx, bank, set_index, match, from_node, t,
+          [cb = std::move(cb)](const ProbeResult &r, Cycle done) {
+              cb(r, done);
+          });
 }
 
 void
@@ -93,8 +65,7 @@ Protocol::handleL2Hit(Transaction &tx, BankId bank,
 
     CacheBank &b = org_.bank(bank);
     b.touch(set_index, way);
-    if (b.meta(set_index, way).hits < 255)
-        ++b.meta(set_index, way).hits;
+    b.bumpHits(set_index, way);
     const Cycle data_done = b.dataAccess(tag_done);
     const NodeId node = topo_.bankNode(bank);
     const Cycle data_at_req =
@@ -147,11 +118,13 @@ Protocol::handleL2Miss(Transaction &tx, NodeId last_node, Cycle t)
             source = static_cast<L1Id>(e->ownerIndex);
             have_source = true;
         } else {
-            // Nearest holder to the requester supplies the data.
+            // Nearest holder to the requester supplies the data; the
+            // ascending bit walk keeps the old loop's tie-breaking.
             std::uint32_t best_hops = ~0u;
-            for (L1Id h = 0; h < cfg_.l1Count(); ++h) {
-                if (h == self || !e->hasL1Holder(h))
-                    continue;
+            for (std::uint32_t m = e->l1Holders &
+                                   ~(std::uint32_t{1} << self);
+                 m != 0; m &= m - 1) {
+                const L1Id h = static_cast<L1Id>(__builtin_ctz(m));
                 const std::uint32_t d = topo_.hops(
                     tx.reqNode, topo_.coreNode(coreOfL1(h)));
                 if (d < best_hops) {
@@ -188,9 +161,8 @@ Protocol::handleL2Miss(Transaction &tx, NodeId last_node, Cycle t)
         transition(tx, TxState::HitReturn, t_home);
         BankId src_bank = kInvalidBank;
         std::uint32_t best_hops = ~0u;
-        for (BankId b = 0; b < cfg_.l2Banks; ++b) {
-            if (!e->hasL2Copy(b))
-                continue;
+        for (std::uint64_t m = e->l2Copies; m != 0; m &= m - 1) {
+            const BankId b = static_cast<BankId>(__builtin_ctzll(m));
             const std::uint32_t d =
                 topo_.hops(tx.reqNode, topo_.bankNode(b));
             if (d < best_hops) {

@@ -173,6 +173,18 @@ class FlatMap
 
     bool contains(const K &k) const { return findIndex(k) != kNotFound; }
 
+    /**
+     * Hint the hardware to pull k's home slot into cache ahead of a
+     * find/operator[] known to follow shortly. Pure performance hint —
+     * no observable effect on the table.
+     */
+    void
+    prefetch(const K &k) const
+    {
+        if (!slots_.empty())
+            __builtin_prefetch(&slots_[homeOf(k)]);
+    }
+
     V &
     operator[](const K &k)
     {

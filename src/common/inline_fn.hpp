@@ -48,8 +48,22 @@ class InlineFn<R(Args...), N>
               typename = std::enable_if_t<
                   !std::is_same_v<std::decay_t<F>, InlineFn> &&
                   std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
-    InlineFn(F &&f)
+    InlineFn(F &&f) { emplace(std::forward<F>(f)); }
+
+    /**
+     * Replace the target, constructing the callable directly in this
+     * object's storage. Lets owners of long-lived slots (the event
+     * slab) accept a raw lambda without routing it through a temporary
+     * InlineFn and paying a relocation.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    void
+    emplace(F &&f)
     {
+        reset();
         using Fn = std::decay_t<F>;
         if constexpr (fitsInline<Fn>()) {
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));

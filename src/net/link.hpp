@@ -59,19 +59,30 @@ class Link
         // recomputed whenever the candidate start moves.
         Cycle t = head_arrival;
         std::uint32_t eff = flits * factorAt(t);
-        std::size_t pos = 0;
-        for (; pos < busy_.size(); ++pos) {
-            const Busy &b = busy_[pos];
-            if (t + eff <= b.start)
-                break; // fits in the gap before this interval
-            if (b.end > t) {
-                t = b.end; // pushed past it
-                eff = flits * factorAt(t);
+        if (busy_.empty() || t >= busy_.back().end) {
+            // Fast path (the common case on lightly loaded links): the
+            // reservation lands after all existing traffic, so append —
+            // merging with a touching predecessor exactly as the
+            // general path's coalesce would — without scanning.
+            if (!busy_.empty() && busy_.back().end == t)
+                busy_.back().end = t + eff;
+            else
+                busy_.push_back(Busy{t, t + eff});
+        } else {
+            std::size_t pos = 0;
+            for (; pos < busy_.size(); ++pos) {
+                const Busy &b = busy_[pos];
+                if (t + eff <= b.start)
+                    break; // fits in the gap before this interval
+                if (b.end > t) {
+                    t = b.end; // pushed past it
+                    eff = flits * factorAt(t);
+                }
             }
+            busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos),
+                         Busy{t, t + eff});
+            coalesce(pos);
         }
-        busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos),
-                     Busy{t, t + eff});
-        coalesce(pos);
         if (busy_.size() > peakIntervals_)
             peakIntervals_ = busy_.size();
         if (busy_.size() > kMaxIntervals)

@@ -81,6 +81,29 @@ class EventQueue
         scheduleImpl(when, std::move(fn));
     }
 
+    // Raw-callable overloads: construct the closure directly in its
+    // slab slot instead of building a temporary EventFn and relocating
+    // it. For the fat probe continuation (which captures a nested
+    // InlineFn and therefore relocates through a manage dispatch) this
+    // removes one full relocation per scheduled event.
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    void
+    schedule(Cycle delay, F &&f)
+    {
+        emplaceAt(now_ + delay, std::forward<F>(f));
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    void
+    scheduleAt(Cycle when, F &&f)
+    {
+        emplaceAt(when, std::forward<F>(f));
+    }
+
     /** True when no events remain. */
     bool empty() const { return pending_ == 0; }
 
@@ -230,7 +253,39 @@ class EventQueue
     scheduleImpl(Cycle when, EventFn &&fn)
     {
         ESP_ASSERT(when >= now_, "scheduling into the past");
-        const std::uint32_t idx = acquireSlot(std::move(fn));
+        std::uint32_t idx;
+        if (free_.empty()) {
+            pool_.push_back(std::move(fn));
+            idx = static_cast<std::uint32_t>(pool_.size() - 1);
+        } else {
+            idx = free_.back();
+            free_.pop_back();
+            pool_[idx] = std::move(fn);
+        }
+        commit(when, idx);
+    }
+
+    /** In-place variant: the callable is constructed in the slot. */
+    template <typename F>
+    void
+    emplaceAt(Cycle when, F &&f)
+    {
+        ESP_ASSERT(when >= now_, "scheduling into the past");
+        std::uint32_t idx;
+        if (free_.empty()) {
+            pool_.emplace_back(std::forward<F>(f));
+            idx = static_cast<std::uint32_t>(pool_.size() - 1);
+        } else {
+            idx = free_.back();
+            free_.pop_back();
+            pool_[idx].emplace(std::forward<F>(f));
+        }
+        commit(when, idx);
+    }
+
+    void
+    commit(Cycle when, std::uint32_t idx)
+    {
         ++seq_;
         ++pending_;
         if (when < now_ + kWheelSpan) {
@@ -239,19 +294,6 @@ class EventQueue
             far_.push_back(FarEntry{when, seq_ - 1, idx});
             std::push_heap(far_.begin(), far_.end(), FarLater{});
         }
-    }
-
-    std::uint32_t
-    acquireSlot(EventFn &&fn)
-    {
-        if (free_.empty()) {
-            pool_.push_back(std::move(fn));
-            return static_cast<std::uint32_t>(pool_.size() - 1);
-        }
-        const std::uint32_t idx = free_.back();
-        free_.pop_back();
-        pool_[idx] = std::move(fn);
-        return idx;
     }
 
     void

@@ -72,6 +72,64 @@ class ShiftEma
     std::uint32_t value_;
 };
 
+/**
+ * A ShiftEma fed through a 64-sample bit buffer. record() is a shift and
+ * an or; the underlying EMA only advances when flush() replays the
+ * buffered samples in arrival order. Because replay preserves order, the
+ * post-flush register value is bit-identical to per-access updates — the
+ * only observable difference is *when* the work happens, so any reader
+ * must flush first (raw() does so itself).
+ */
+class BatchedShiftEma
+{
+  public:
+    BatchedShiftEma(unsigned b, unsigned a) : ema_(b, a) {}
+
+    /** Buffer one binary sample; spills to the EMA when the buffer fills. */
+    void
+    record(bool hit)
+    {
+        bits_ |= static_cast<std::uint64_t>(hit) << pending_;
+        if (++pending_ == 64)
+            flush();
+    }
+
+    /** Replay every buffered sample into the EMA (oldest first). */
+    void
+    flush()
+    {
+        for (std::uint32_t i = 0; i < pending_; ++i)
+            ema_.record((bits_ >> i) & 1u);
+        bits_ = 0;
+        pending_ = 0;
+    }
+
+    /** Raw fixed-point estimate; flushes so the value is current. */
+    std::uint32_t
+    raw()
+    {
+        flush();
+        return ema_.raw();
+    }
+
+    /** Samples buffered but not yet applied (testing aid). */
+    std::uint32_t pending() const { return pending_; }
+
+    /** Reset estimate and buffer. */
+    void
+    reset(std::uint32_t v = 0)
+    {
+        ema_.reset(v);
+        bits_ = 0;
+        pending_ = 0;
+    }
+
+  private:
+    ShiftEma ema_;
+    std::uint64_t bits_ = 0;    //!< sample i lives in bit i
+    std::uint32_t pending_ = 0; //!< buffered, un-applied samples
+};
+
 } // namespace espnuca
 
 #endif // ESPNUCA_STATS_EMA_HPP_

@@ -23,8 +23,8 @@ makeBlock(Addr a, BlockClass cls = BlockClass::Private)
 TEST(CacheSet, FindsByAddressAndPredicate)
 {
     CacheSet s(4);
-    s.way(0) = makeBlock(0x100, BlockClass::Private);
-    s.way(1) = makeBlock(0x100, BlockClass::Shared);
+    s.assign(0, makeBlock(0x100, BlockClass::Private));
+    s.assign(1, makeBlock(0x100, BlockClass::Shared));
     const int priv = s.find(0x100, [](const BlockMeta &m) {
         return m.cls == BlockClass::Private;
     });
@@ -40,8 +40,8 @@ TEST(CacheSet, FindsByAddressAndPredicate)
 TEST(CacheSet, InvalidBlocksNeverMatch)
 {
     CacheSet s(2);
-    s.way(0) = makeBlock(0x40);
-    s.way(0).valid = false;
+    s.assign(0, makeBlock(0x40));
+    s.clearWay(0);
     EXPECT_EQ(s.findAny(0x40), kNoWay);
 }
 
@@ -49,7 +49,7 @@ TEST(CacheSet, TouchMovesToMru)
 {
     CacheSet s(4);
     for (int i = 0; i < 4; ++i)
-        s.way(i) = makeBlock(0x40 * (i + 1));
+        s.assign(i, makeBlock(0x40 * (i + 1)));
     s.touch(2);
     EXPECT_EQ(s.recencyOf(2), 0u);
     s.touch(0);
@@ -61,7 +61,7 @@ TEST(CacheSet, LruWayIsLeastRecent)
 {
     CacheSet s(4);
     for (int i = 0; i < 4; ++i) {
-        s.way(i) = makeBlock(0x40 * (i + 1));
+        s.assign(i, makeBlock(0x40 * (i + 1)));
         s.touch(i);
     }
     EXPECT_EQ(s.lruWay(), 0);
@@ -72,10 +72,10 @@ TEST(CacheSet, LruWayIsLeastRecent)
 TEST(CacheSet, LruAmongFiltersByClass)
 {
     CacheSet s(4);
-    s.way(0) = makeBlock(0x40, BlockClass::Private);
-    s.way(1) = makeBlock(0x80, BlockClass::Replica);
-    s.way(2) = makeBlock(0xC0, BlockClass::Private);
-    s.way(3) = makeBlock(0x100, BlockClass::Victim);
+    s.assign(0, makeBlock(0x40, BlockClass::Private));
+    s.assign(1, makeBlock(0x80, BlockClass::Replica));
+    s.assign(2, makeBlock(0xC0, BlockClass::Private));
+    s.assign(3, makeBlock(0x100, BlockClass::Victim));
     for (int i = 0; i < 4; ++i)
         s.touch(i); // recency: 3 MRU .. 0 LRU
     const int lru_helping = s.lruAmong(
@@ -89,10 +89,10 @@ TEST(CacheSet, LruAmongFiltersByClass)
 TEST(CacheSet, InvalidWayFoundFirst)
 {
     CacheSet s(3);
-    s.way(0) = makeBlock(0x40);
-    s.way(2) = makeBlock(0x80);
+    s.assign(0, makeBlock(0x40));
+    s.assign(2, makeBlock(0x80));
     EXPECT_EQ(s.invalidWay(), 1);
-    s.way(1) = makeBlock(0xC0);
+    s.assign(1, makeBlock(0xC0));
     EXPECT_EQ(s.invalidWay(), kNoWay);
 }
 
@@ -100,9 +100,9 @@ TEST(CacheSet, HelpingCountMatchesClasses)
 {
     CacheSet s(4);
     EXPECT_EQ(s.helpingCount(), 0u);
-    s.way(0) = makeBlock(0x40, BlockClass::Replica);
-    s.way(1) = makeBlock(0x80, BlockClass::Victim);
-    s.way(2) = makeBlock(0xC0, BlockClass::Shared);
+    s.assign(0, makeBlock(0x40, BlockClass::Replica));
+    s.assign(1, makeBlock(0x80, BlockClass::Victim));
+    s.assign(2, makeBlock(0xC0, BlockClass::Shared));
     EXPECT_EQ(s.helpingCount(), 2u);
 }
 
@@ -110,7 +110,7 @@ TEST(CacheSet, DemoteMakesWayLru)
 {
     CacheSet s(3);
     for (int i = 0; i < 3; ++i) {
-        s.way(i) = makeBlock(0x40 * (i + 1));
+        s.assign(i, makeBlock(0x40 * (i + 1)));
         s.touch(i);
     }
     s.demote(2);
@@ -120,9 +120,9 @@ TEST(CacheSet, DemoteMakesWayLru)
 TEST(CacheSet, CountIf)
 {
     CacheSet s(4);
-    s.way(0) = makeBlock(0x40, BlockClass::Private);
-    s.way(1) = makeBlock(0x80, BlockClass::Private);
-    s.way(2) = makeBlock(0xC0, BlockClass::Shared);
+    s.assign(0, makeBlock(0x40, BlockClass::Private));
+    s.assign(1, makeBlock(0x80, BlockClass::Private));
+    s.assign(2, makeBlock(0xC0, BlockClass::Shared));
     EXPECT_EQ(s.countIf([](const BlockMeta &m) {
                   return m.cls == BlockClass::Private;
               }),

@@ -28,7 +28,7 @@ fillSet(CacheSet &s, int start_way, int count, BlockClass cls,
 {
     for (int i = 0; i < count; ++i) {
         const int w = start_way + i;
-        s.way(w) = makeBlock(base + 0x40 * w, cls);
+        s.assign(w, makeBlock(base + 0x40 * w, cls));
         s.touch(w);
     }
 }
@@ -232,7 +232,7 @@ TEST_P(ProtectedLruSweep, HelpingCountBounded)
                                   ctx(SetCategory::Conventional, nmax));
         if (w == kNoWay)
             continue;
-        s.way(w) = makeBlock(addr += 0x40, cls);
+        s.assign(w, makeBlock(addr += 0x40, cls));
         s.touch(w);
         EXPECT_LE(s.helpingCount(), std::max(nmax, 1u))
             << "i=" << i << " nmax=" << nmax;

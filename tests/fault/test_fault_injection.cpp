@@ -31,11 +31,13 @@ TEST(CacheSetFault, DisabledWaysAreNeverAllocated)
     EXPECT_EQ(set.enabledWays(), 2u);
     // invalidWay only ever offers the live ways.
     EXPECT_EQ(set.invalidWay(), 2);
-    set.way(2).valid = true;
-    set.way(2).addr = 0x100;
+    BlockMeta blk;
+    blk.valid = true;
+    blk.addr = 0x100;
+    set.assign(2, blk);
     EXPECT_EQ(set.invalidWay(), 3);
-    set.way(3).valid = true;
-    set.way(3).addr = 0x200;
+    blk.addr = 0x200;
+    set.assign(3, blk);
     EXPECT_EQ(set.invalidWay(), kNoWay);
     // Disabled ways are invalid, so LRU selection skips them too.
     EXPECT_NE(set.lruWay(), 0);

@@ -18,7 +18,14 @@
 #     S-NUCA and ESP-NUCA substrates) from the Release build (FSM audit
 #     compiled out, must stay within +-2 % of the pre-refactor numbers)
 #     and from a -DESPNUCA_AUDIT=ON Release build ("protocol" section;
-#     audit_overhead_pct records what compiling the audit in costs).
+#     audit_overhead_pct records what compiling the audit in costs),
+#   - bench/micro_protocol --ratio --stages: ESP-vs-S-NUCA throughput
+#     ratio and the prof.*-based ESP hot-path stage breakdown
+#     (probe/replace/ema/helping), merged into the "protocol" section.
+#
+# Perf guard: if the previous BENCH_core.json exists, the script fails
+# when ESP-NUCA ns/tx regresses more than 15 % against it. Export
+# ESPNUCA_SKIP_PERF_GUARD=1 to accept an intentional regression.
 #
 # Output schema (BENCH_core.json):
 #   { "event_kernel": { "wheel": {events_per_sec, ns_per_event},
@@ -78,6 +85,11 @@ AUDITON_JSON=$(mktemp)
     --benchmark_report_aggregates_only=true \
     --benchmark_format=json > "$AUDITON_JSON"
 
+echo "== bench_perf: micro_protocol --ratio --stages =="
+BREAKDOWN_JSON=$(mktemp)
+./build-release/bench/micro_protocol --ratio --stages \
+    --breakdown-json "$BREAKDOWN_JSON"
+
 echo "== bench_perf: fig07_onchip_offchip --json =="
 mkdir -p results
 FIG07_JSON=results/fig07_onchip_offchip.json
@@ -88,11 +100,11 @@ FIG07_END=$(date +%s.%N)
 
 python3 - "$MICRO_JSON" "$OUT" "$FIG07_JSON" \
     "$FIG07_START" "$FIG07_END" "$OBSOFF_JSON" \
-    "$PROTO_JSON" "$AUDITON_JSON" <<'PY'
-import json, sys
+    "$PROTO_JSON" "$AUDITON_JSON" "$BREAKDOWN_JSON" <<'PY'
+import json, os, sys
 
 (micro_path, out_path, fig07_path, t0, t1, obsoff_path,
- proto_path, auditon_path) = sys.argv[1:9]
+ proto_path, auditon_path, breakdown_path) = sys.argv[1:10]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(obsoff_path) as f:
@@ -101,6 +113,18 @@ with open(proto_path) as f:
     proto = json.load(f)
 with open(auditon_path) as f:
     auditon = json.load(f)
+with open(breakdown_path) as f:
+    breakdown = json.load(f)
+
+# Committed baseline for the regression guard (absent on first run).
+baseline_esp_ns = None
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            baseline_esp_ns = (json.load(f)["protocol"]["esp_nuca"]
+                               ["ns_per_transaction"])
+    except (KeyError, ValueError):
+        baseline_esp_ns = None
 
 def mean_metrics(name, doc=None):
     for b in (doc or micro)["benchmarks"]:
@@ -168,12 +192,31 @@ report = {
             100.0 * (proto_snuca["transactions_per_sec"] -
                      proto_audit["transactions_per_sec"]) /
             proto_snuca["transactions_per_sec"], 2),
+        # ESP-vs-S-NUCA throughput ratio and the prof.*-attributed ESP
+        # stage costs (--ratio / --stages single-shot runs; noisier than
+        # the repetition aggregates above, attribution only).
+        "esp_over_snuca": breakdown.get("ratio", {}).get(
+            "esp_over_snuca"),
+        "esp_stages_ns_per_tx": breakdown.get("stages_ns_per_tx"),
     },
 }
+
+# Regression guard: fail on >15 % ESP ns/tx regression vs the committed
+# baseline (ESPNUCA_SKIP_PERF_GUARD=1 accepts intentional changes).
+if baseline_esp_ns:
+    new_ns = proto_esp["ns_per_transaction"]
+    pct = 100.0 * (new_ns - baseline_esp_ns) / baseline_esp_ns
+    print(f"perf guard: esp_nuca {new_ns:.1f} ns/tx vs baseline "
+          f"{baseline_esp_ns:.1f} ns/tx ({pct:+.1f} %)")
+    if pct > 15.0 and os.environ.get("ESPNUCA_SKIP_PERF_GUARD") != "1":
+        raise SystemExit(
+            "perf guard: ESP-NUCA ns/tx regressed more than 15 % "
+            "(set ESPNUCA_SKIP_PERF_GUARD=1 to accept)")
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(json.dumps(report, indent=2))
 PY
-rm -f "$MICRO_JSON" "$OBSOFF_JSON" "$PROTO_JSON" "$AUDITON_JSON"
+rm -f "$MICRO_JSON" "$OBSOFF_JSON" "$PROTO_JSON" "$AUDITON_JSON" \
+    "$BREAKDOWN_JSON"
 echo "== bench_perf: wrote $OUT =="

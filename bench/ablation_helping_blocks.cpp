@@ -16,6 +16,7 @@
 #include <map>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -89,6 +90,9 @@ main(int argc, char **argv)
         m.add("shared", w);
         m.add("esp-nuca-flat", w);
     }
+    if (runSweep(m, "ablation_helping_blocks", argc, argv))
+        return 0;
+
     m.run(&pool);
 
     std::printf("%-18s", "variant");

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -29,6 +30,9 @@ main(int argc, char **argv)
     for (const auto &w : workloads)
         for (const auto &a : archs)
             m.add(a, w);
+    if (runSweep(m, "fig04_spnuca_partitioning", argc, argv))
+        return 0;
+
     m.run();
 
     std::printf("%-8s %10s %10s %10s\n", "wload", "sp-nuca", "static",

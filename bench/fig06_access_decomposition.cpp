@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -28,6 +29,9 @@ main(int argc, char **argv)
     for (const auto &w : transactionalWorkloads())
         for (const auto &a : archs)
             m.add(a, w);
+    if (runSweep(m, "fig06_access_decomposition", argc, argv))
+        return 0;
+
     m.run();
 
     for (const auto &w : transactionalWorkloads()) {

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -28,6 +29,9 @@ main(int argc, char **argv)
     for (const auto &w : workloads)
         for (const auto &a : archs)
             m.add(a, w);
+    if (runSweep(m, "fig07_onchip_offchip", argc, argv))
+        return 0;
+
     m.run();
 
     std::printf("%-10s %12s %12s\n", "arch", "off-chip", "on-chip-lat");

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -34,6 +35,9 @@ main(int argc, char **argv)
         for (const auto &a : ccs)
             m.add(a, w);
     }
+    if (runSweep(m, "fig08_transactional", argc, argv))
+        return 0;
+
     m.run();
 
     std::printf("%-8s %8s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",

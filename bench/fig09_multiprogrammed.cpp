@@ -10,6 +10,7 @@
 #include <map>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -34,6 +35,9 @@ main(int argc, char **argv)
         for (const auto &a : ccVariants())
             m.add(a, w);
     }
+    if (runSweep(m, "fig09_multiprogrammed", argc, argv))
+        return 0;
+
     m.run();
 
     std::printf("%-10s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -30,6 +31,9 @@ main(int argc, char **argv)
         for (const auto &a : ccVariants())
             m.add(a, w);
     }
+    if (runSweep(m, "fig10_npb", argc, argv))
+        return 0;
+
     m.run();
 
     std::printf("%-6s %8s %8s %8s %8s %8s %8s\n", "wload", "shared",

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -65,6 +66,9 @@ main(int argc, char **argv)
             m.add(c, "esp-nuca", w, keyOf(row.label, w));
         }
     }
+    if (runSweep(m, "sensitivity_monitor", argc, argv))
+        return 0;
+
     m.run();
 
     std::printf("%-22s", "config");

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 using namespace espnuca;
 
@@ -36,6 +37,9 @@ main(int argc, char **argv)
         for (const auto &a : archs)
             m.add(a, w);
     }
+    if (runSweep(m, "stability_variance", argc, argv))
+        return 0;
+
     m.run();
 
     std::map<std::string, std::vector<double>> norm;

@@ -111,6 +111,48 @@ class Asr : public L2Org
     std::uint32_t level(CoreId c) const { return perCore_[c].level; }
     std::uint64_t replicasCreated() const { return replicasCreated_; }
 
+    void
+    saveExtra(SnapshotWriter &w) const override
+    {
+        std::uint64_t s[4];
+        rng_.saveState(s);
+        for (std::uint64_t v : s)
+            w.u64(v);
+        w.u64(perCore_.size());
+        for (const CoreState &st : perCore_) {
+            w.u32(st.level);
+            w.f64(st.benefit);
+            w.f64(st.cost);
+            w.u64(st.events);
+            w.u64(st.ghosts.size());
+            for (Addr a : st.ghosts)
+                w.u64(a);
+        }
+        w.u64(replicasCreated_);
+    }
+
+    void
+    loadExtra(SnapshotReader &r) override
+    {
+        std::uint64_t s[4];
+        for (std::uint64_t &v : s)
+            v = r.u64();
+        rng_.loadState(s);
+        if (r.u64() != perCore_.size())
+            throw SnapshotError("asr core-count mismatch");
+        for (CoreState &st : perCore_) {
+            st.level = r.u32();
+            st.benefit = r.f64();
+            st.cost = r.f64();
+            st.events = r.u64();
+            st.ghosts.clear();
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i)
+                st.ghosts.push_back(r.u64());
+        }
+        replicasCreated_ = r.u64();
+    }
+
   private:
     static constexpr std::array<double, 4> kLevels = {0.0, 0.25, 0.5,
                                                       1.0};

@@ -83,6 +83,26 @@ class CooperativeCaching : public L2Org
 
     std::uint64_t spills() const { return spills_; }
 
+    void
+    saveExtra(SnapshotWriter &w) const override
+    {
+        std::uint64_t s[4];
+        rng_.saveState(s);
+        for (std::uint64_t v : s)
+            w.u64(v);
+        w.u64(spills_);
+    }
+
+    void
+    loadExtra(SnapshotReader &r) override
+    {
+        std::uint64_t s[4];
+        for (std::uint64_t &v : s)
+            v = r.u64();
+        rng_.loadState(s);
+        spills_ = r.u64();
+    }
+
   private:
     /**
      * A block displaced from a tile: spill singlets once to a random

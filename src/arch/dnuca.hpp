@@ -192,6 +192,20 @@ class Dnuca : public L2Org
     std::uint64_t migrations() const { return migrations_; }
     std::uint64_t replications() const { return replications_; }
 
+    void
+    saveExtra(SnapshotWriter &w) const override
+    {
+        w.u64(migrations_);
+        w.u64(replications_);
+    }
+
+    void
+    loadExtra(SnapshotReader &r) override
+    {
+        migrations_ = r.u64();
+        replications_ = r.u64();
+    }
+
   private:
     std::uint64_t migrations_ = 0;
     std::uint64_t replications_ = 0;

@@ -210,6 +210,28 @@ class EspNuca : public SpNuca
             dropDisplaced(res.evicted, priv, t);
     }
 
+    void
+    saveExtra(SnapshotWriter &w) const override
+    {
+        std::uint64_t s[4];
+        throttle_.saveState(s);
+        for (std::uint64_t v : s)
+            w.u64(v);
+        w.u64(replicasCreated_);
+        w.u64(victimsCreated_);
+    }
+
+    void
+    loadExtra(SnapshotReader &r) override
+    {
+        std::uint64_t s[4];
+        for (std::uint64_t &v : s)
+            v = r.u64();
+        throttle_.loadState(s);
+        replicasCreated_ = r.u64();
+        victimsCreated_ = r.u64();
+    }
+
   private:
     bool readHitReplication_ = true;
     bool evictReplication_ = true;

@@ -322,6 +322,49 @@ class CacheBank
         return occ;
     }
 
+    // -- Snapshot/restore ----------------------------------------------
+
+    /** Serialize contents, timing and statistics. The replacement
+     *  policy serializes separately (the organization owns it: stateful
+     *  policies are per-bank, stateless ones shared). */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u32(numSets());
+        for (const auto &s : sets_)
+            s.save(w);
+        w.b(monitor_ != nullptr);
+        if (monitor_)
+            monitor_->save(w);
+        w.u32(disabledWays_);
+        w.u64(freeAt_);
+        w.u64(waitCycles_);
+        w.u64(accesses_);
+        w.u64(demandAccesses_);
+        w.u64(demandHits_);
+        w.u64(evictions_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        if (r.u32() != numSets())
+            throw SnapshotError("bank set-count mismatch");
+        for (auto &s : sets_)
+            s.load(r);
+        if (r.b() != (monitor_ != nullptr))
+            throw SnapshotError("bank monitor presence mismatch");
+        if (monitor_)
+            monitor_->load(r);
+        disabledWays_ = r.u32();
+        freeAt_ = r.u64();
+        waitCycles_ = r.u64();
+        accesses_ = r.u64();
+        demandAccesses_ = r.u64();
+        demandHits_ = r.u64();
+        evictions_ = r.u64();
+    }
+
   private:
     Cycle
     occupy(Cycle arrival, Cycle lat)

@@ -30,6 +30,7 @@
 
 #include "cache/block.hpp"
 #include "common/log.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "obs/profiler.hpp"
 
@@ -428,6 +429,65 @@ class CacheSet
     {
         const std::int8_t v = victim_[mask];
         return v == kVictimUnknown ? kNoWay : v;
+    }
+
+    // -- Snapshot/restore ----------------------------------------------
+
+    /**
+     * Serialize the full logical state: tags, occupancy masks, recency
+     * stamps and metadata. The victim memo cache is NOT serialized —
+     * it is a pure memoization of stamp_/classWays_ and lruAmong()
+     * recomputes identical answers from the restored arrays.
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u32(ways_);
+        w.u64(validMask_);
+        for (const auto cw : classWays_)
+            w.u64(cw);
+        w.u64(disabledMask_);
+        w.i64(hi_);
+        w.i64(lo_);
+        for (std::uint32_t i = 0; i < ways_; ++i) {
+            const BlockMeta &m = meta_[i];
+            w.u64(tag_[i]);
+            w.i64(stamp_[i]);
+            w.u64(m.addr);
+            w.b(m.valid);
+            w.b(m.dirty);
+            w.u8(static_cast<std::uint8_t>(m.cls));
+            w.u32(m.owner);
+            w.b(m.hasOwnerToken);
+            w.u8(m.hits);
+        }
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        if (r.u32() != ways_)
+            throw SnapshotError("cache set way-count mismatch");
+        validMask_ = r.u64();
+        for (auto &cw : classWays_)
+            cw = r.u64();
+        disabledMask_ = r.u64();
+        hi_ = r.i64();
+        lo_ = r.i64();
+        for (std::uint32_t i = 0; i < ways_; ++i) {
+            BlockMeta &m = meta_[i];
+            tag_[i] = r.u64();
+            stamp_[i] = r.i64();
+            m.addr = r.u64();
+            m.valid = r.b();
+            m.dirty = r.b();
+            m.cls = static_cast<BlockClass>(r.u8());
+            m.owner = static_cast<CoreId>(r.u32());
+            m.hasOwnerToken = r.b();
+            m.hits = r.u8();
+        }
+        victim_.fill(kVictimUnknown);
+        victimWays_ = 0;
     }
 
   private:

@@ -117,6 +117,49 @@ class HitRateMonitor
     std::uint64_t increments() const { return increments_; }
     std::uint64_t decrements() const { return decrements_; }
 
+    // -- Snapshot/restore ----------------------------------------------
+
+    /**
+     * Serialize controller state. categories_ is NOT serialized: it is
+     * assigned deterministically from the config at construction. The
+     * EMAs are saved with their un-flushed sample buffers so the
+     * restored flush order is bit-identical to the uninterrupted run.
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        auto ema = [&](const BatchedShiftEma &e) {
+            w.u32(e.rawNoFlush());
+            w.u64(e.pendingBits());
+            w.u32(e.pending());
+        };
+        ema(hrC_);
+        ema(hrR_);
+        ema(hrE_);
+        w.u32(nmax_);
+        w.u32(references_);
+        w.u64(increments_);
+        w.u64(decrements_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        auto ema = [&](BatchedShiftEma &e) {
+            const std::uint32_t raw = r.u32();
+            const std::uint64_t bits = r.u64();
+            const std::uint32_t pending = r.u32();
+            e.restore(raw, bits, pending);
+        };
+        ema(hrC_);
+        ema(hrR_);
+        ema(hrE_);
+        nmax_ = r.u32();
+        references_ = r.u32();
+        increments_ = r.u64();
+        decrements_ = r.u64();
+    }
+
   private:
     void
     updateNmax()

@@ -24,6 +24,7 @@
 
 #include "cache/cache_set.hpp"
 #include "common/log.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "obs/profiler.hpp"
 
@@ -85,6 +86,10 @@ class ReplacementPolicy
         (void)set_index;
         (void)evicted;
     }
+
+    /** Snapshot hook: stateless policies (the default) write nothing. */
+    virtual void save(SnapshotWriter &w) const { (void)w; }
+    virtual void load(SnapshotReader &r) { (void)r; }
 };
 
 /** Plain LRU over the whole set; accepts every class. */
@@ -312,6 +317,46 @@ class ShadowTagPolicy : public ReplacementPolicy
     targetPrivate(std::uint32_t set_index) const
     {
         return state_.at(set_index).targetPrivate;
+    }
+
+    void
+    save(SnapshotWriter &w) const override
+    {
+        w.u64(state_.size());
+        for (const SetState &st : state_) {
+            w.u32(st.targetPrivate);
+            w.u32(st.privateUtility);
+            w.u32(st.sharedUtility);
+            w.u32(st.accesses);
+            auto ghosts = [&](const std::deque<Addr> &g) {
+                w.u32(static_cast<std::uint32_t>(g.size()));
+                for (Addr a : g)
+                    w.u64(a);
+            };
+            ghosts(st.privateGhosts);
+            ghosts(st.sharedGhosts);
+        }
+    }
+
+    void
+    load(SnapshotReader &r) override
+    {
+        if (r.u64() != state_.size())
+            throw SnapshotError("shadow-tag set-count mismatch");
+        for (SetState &st : state_) {
+            st.targetPrivate = r.u32();
+            st.privateUtility = r.u32();
+            st.sharedUtility = r.u32();
+            st.accesses = r.u32();
+            auto ghosts = [&](std::deque<Addr> &g) {
+                g.clear();
+                const std::uint32_t n = r.u32();
+                for (std::uint32_t i = 0; i < n; ++i)
+                    g.push_back(r.u64());
+            };
+            ghosts(st.privateGhosts);
+            ghosts(st.sharedGhosts);
+        }
     }
 
   private:

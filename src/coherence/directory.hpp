@@ -21,6 +21,7 @@
 #include "common/config.hpp"
 #include "common/flat_map.hpp"
 #include "common/log.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace espnuca {
@@ -264,6 +265,48 @@ class Directory
 
     /** Iterate all tracked blocks (tests). */
     const FlatMap<Addr, BlockInfo> &raw() const { return map_; }
+
+    // -- Snapshot/restore ----------------------------------------------
+
+    /**
+     * Every entry is serialized, including off-chip ones: their
+     * sharedStatus/firstAccessor survive until the next demand access
+     * resets them lazily (noteAccess), so dropping them would change
+     * the privatization sequence of the restored run. Bucket layout is
+     * not preserved (lookups are exact-key; nothing iterates the map
+     * during simulation).
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u64(map_.size());
+        for (const auto &[a, e] : map_) {
+            w.u64(a);
+            w.u32(e.l1Holders);
+            w.u64(e.l2Copies);
+            w.u8(static_cast<std::uint8_t>(e.ownerKind));
+            w.u32(e.ownerIndex);
+            w.b(e.sharedStatus);
+            w.u32(e.firstAccessor);
+        }
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        map_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr a = r.u64();
+            BlockInfo &e = map_[a];
+            e.l1Holders = r.u32();
+            e.l2Copies = r.u64();
+            e.ownerKind = static_cast<OwnerKind>(r.u8());
+            e.ownerIndex = r.u32();
+            e.sharedStatus = r.b();
+            e.firstAccessor = static_cast<CoreId>(r.u32());
+        }
+    }
 
   private:
     /**

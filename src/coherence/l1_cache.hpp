@@ -143,6 +143,29 @@ class L1Cache
     std::uint64_t fills() const { return fills_; }
     std::uint64_t invalidations() const { return invalidations_; }
 
+    // -- Snapshot/restore ----------------------------------------------
+
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u32(static_cast<std::uint32_t>(sets_.size()));
+        for (const auto &s : sets_)
+            s.save(w);
+        w.u64(fills_);
+        w.u64(invalidations_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        if (r.u32() != sets_.size())
+            throw SnapshotError("L1 set-count mismatch");
+        for (auto &s : sets_)
+            s.load(r);
+        fills_ = r.u64();
+        invalidations_ = r.u64();
+    }
+
   private:
     unsigned blockOffset_;
     unsigned indexBits_;

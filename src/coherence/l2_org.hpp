@@ -19,6 +19,7 @@
 #include "cache/cache_bank.hpp"
 #include "coherence/protocol.hpp"
 #include "common/config.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace espnuca {
@@ -121,6 +122,41 @@ class L2Org
     /** Aggregate L2 demand statistics across banks. */
     std::uint64_t totalDemandAccesses() const;
     std::uint64_t totalDemandHits() const;
+
+    // -- Snapshot/restore ----------------------------------------------
+
+    /**
+     * Serialize every bank (sets, monitors, stats), each bank's
+     * replacement-policy state, and the architecture's own adaptive
+     * state via saveExtra(). The address map is configuration (fault
+     * remaps are re-applied at construction) and not serialized.
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u32(numBanks());
+        for (BankId b = 0; b < numBanks(); ++b) {
+            banks_[b]->save(w);
+            banks_[b]->policy().save(w);
+        }
+        saveExtra(w);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        if (r.u32() != numBanks())
+            throw SnapshotError("l2 bank-count mismatch");
+        for (BankId b = 0; b < numBanks(); ++b) {
+            banks_[b]->load(r);
+            banks_[b]->policy().load(r);
+        }
+        loadExtra(r);
+    }
+
+    /** Architecture-specific adaptive state (RNGs, epoch counters). */
+    virtual void saveExtra(SnapshotWriter &w) const { (void)w; }
+    virtual void loadExtra(SnapshotReader &r) { (void)r; }
 
   protected:
     Protocol &proto() { return *proto_; }

@@ -384,6 +384,73 @@ class Protocol
         privatizations_ = 0;
     }
 
+    // -- Snapshot/restore ------------------------------------------------
+
+    /**
+     * Serialize directory, L1 arrays, memory controllers, the id
+     * counter and all statistics. Only legal at a drained epoch
+     * boundary: no live transactions, locks or MSHRs (asserted), so
+     * the transient engine state is structurally empty and not part
+     * of the format.
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        ESP_ASSERT(live_.empty() && locks_.empty() && mshrs_.empty(),
+                   "snapshot with transactions in flight");
+        dir_.save(w);
+        w.u32(static_cast<std::uint32_t>(l1s_.size()));
+        for (const auto &l1 : l1s_)
+            l1.save(w);
+        w.u32(static_cast<std::uint32_t>(mcs_.size()));
+        for (const auto &mc : mcs_)
+            mc.save(w);
+        w.u64(nextId_);
+        for (const auto &l : levels_) {
+            w.u64(l.count);
+            w.u64(l.totalLatency);
+        }
+        w.u64(accesses_);
+        w.u64(l1Hits_);
+        w.u64(transactions_);
+        w.u64(offChipFetches_);
+        w.u64(writebacks_);
+        w.u64(invalsSent_);
+        w.u64(privatizations_);
+        w.u64(completions_);
+        w.u64(droppedCompletions_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        ESP_ASSERT(live_.empty() && locks_.empty() && mshrs_.empty(),
+                   "restore with transactions in flight");
+        dir_.load(r);
+        if (r.u32() != l1s_.size())
+            throw SnapshotError("L1 count mismatch");
+        for (auto &l1 : l1s_)
+            l1.load(r);
+        if (r.u32() != mcs_.size())
+            throw SnapshotError("memory-controller count mismatch");
+        for (auto &mc : mcs_)
+            mc.load(r);
+        nextId_ = r.u64();
+        for (auto &l : levels_) {
+            l.count = r.u64();
+            l.totalLatency = r.u64();
+        }
+        accesses_ = r.u64();
+        l1Hits_ = r.u64();
+        transactions_ = r.u64();
+        offChipFetches_ = r.u64();
+        writebacks_ = r.u64();
+        invalsSent_ = r.u64();
+        privatizations_ = r.u64();
+        completions_ = r.u64();
+        droppedCompletions_ = r.u64();
+    }
+
   private:
     struct MshrKey
     {

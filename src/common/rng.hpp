@@ -91,6 +91,22 @@ class Rng
     /** Bernoulli trial with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Copy out the raw state (snapshot/restore). */
+    void
+    saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Overwrite the raw state (snapshot/restore). */
+    void
+    loadState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
   private:
     std::uint64_t state_[4];
 };

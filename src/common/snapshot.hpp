@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Versioned binary checkpoint format for System snapshot/restore.
+ *
+ * A snapshot captures the complete simulation state at a drained epoch
+ * boundary (event queue empty, no transactions in flight) so a sweep
+ * point can fast-forward past a warmup prefix shared with an earlier
+ * run. The format is a flat little-endian byte stream with a fixed
+ * header identifying the producing configuration; every stateful
+ * component appends/extracts its fields in a fixed order via
+ * save(SnapshotWriter&) / load(SnapshotReader&).
+ *
+ * Versioning rules (DESIGN.md 5.11):
+ *  - kSnapshotVersion bumps on ANY layout change, however small; there
+ *    is no in-place migration. A version mismatch is a SnapshotError
+ *    and callers fall back to a cold run.
+ *  - The header binds the snapshot to (arch, workload, seed, warmup
+ *    ops, config digest, fault-plan digest): restoring under any other
+ *    identity is refused, because the serialized state would silently
+ *    diverge from what a cold run produces.
+ *  - Readers check exact byte counts; a truncated or oversized file is
+ *    an error, never a partial restore.
+ */
+
+#ifndef ESPNUCA_COMMON_SNAPSHOT_HPP_
+#define ESPNUCA_COMMON_SNAPSHOT_HPP_
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace espnuca {
+
+/** Any malformed / mismatched / truncated snapshot surfaces as this. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error("snapshot: " + what)
+    {
+    }
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E505345; // "ESPN"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Identity a snapshot is bound to; all fields must match on restore. */
+struct SnapshotIdentity
+{
+    std::string arch;
+    std::string workload;
+    std::uint64_t seed = 0;
+    std::uint64_t warmOps = 0;     //!< warmup references per core
+    std::uint64_t configDigest = 0;
+    std::uint64_t faultDigest = 0;
+
+    bool
+    operator==(const SnapshotIdentity &o) const
+    {
+        return arch == o.arch && workload == o.workload &&
+               seed == o.seed && warmOps == o.warmOps &&
+               configDigest == o.configDigest &&
+               faultDigest == o.faultDigest;
+    }
+};
+
+/** FNV-1a: the stable digest primitive for configs and fault plans. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t n,
+      std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    return fnv1a(s.data(), s.size(), h);
+}
+
+/** Append-only little-endian byte stream builder. */
+class SnapshotWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    const std::string &bytes() const { return buf_; }
+
+    void
+    header(const SnapshotIdentity &id)
+    {
+        u32(kSnapshotMagic);
+        u32(kSnapshotVersion);
+        str(id.arch);
+        str(id.workload);
+        u64(id.seed);
+        u64(id.warmOps);
+        u64(id.configDigest);
+        u64(id.faultDigest);
+    }
+
+    /**
+     * Atomic write: tmp file + rename, so a killed sweep never leaves a
+     * half-written checkpoint for the resume pass to trip over.
+     * @return false (no throw) when the filesystem refuses.
+     */
+    bool
+    writeFile(const std::string &path) const
+    {
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out)
+                return false;
+            out.write(buf_.data(),
+                      static_cast<std::streamsize>(buf_.size()));
+            if (!out.good())
+                return false;
+        }
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string buf_;
+};
+
+/** Strict little-endian extractor over an in-memory snapshot image. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(std::string data) : data_(std::move(data)) {}
+
+    /** Load a snapshot file whole; throws SnapshotError when absent. */
+    static SnapshotReader
+    fromFile(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            throw SnapshotError("cannot open " + path);
+        std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        return SnapshotReader(std::move(data));
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data_[pos_++]))
+                 << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data_[pos_++]))
+                 << (8 * i);
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool b() { return u8() != 0; }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s = data_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    /**
+     * Validate magic + version and return the stored identity; the
+     * caller compares it against the identity it is about to run.
+     */
+    SnapshotIdentity
+    header()
+    {
+        if (u32() != kSnapshotMagic)
+            throw SnapshotError("bad magic (not a snapshot file)");
+        const std::uint32_t v = u32();
+        if (v != kSnapshotVersion) {
+            throw SnapshotError("version mismatch: file " +
+                                std::to_string(v) + ", expected " +
+                                std::to_string(kSnapshotVersion));
+        }
+        SnapshotIdentity id;
+        id.arch = str();
+        id.workload = str();
+        id.seed = u64();
+        id.warmOps = u64();
+        id.configDigest = u64();
+        id.faultDigest = u64();
+        return id;
+    }
+
+    /** All bytes must be consumed: trailing garbage is corruption. */
+    void
+    finish() const
+    {
+        if (pos_ != data_.size())
+            throw SnapshotError("trailing bytes after snapshot body");
+    }
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+  private:
+    void
+    need(std::uint64_t n) const
+    {
+        if (pos_ + n > data_.size())
+            throw SnapshotError("truncated snapshot");
+    }
+
+    std::string data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_SNAPSHOT_HPP_

@@ -125,6 +125,10 @@ class TraceCore
     /** Completion callback for everyone waiting on this core. */
     void onFinish(std::function<void()> fn) { onFinish_ = std::move(fn); }
 
+    /** The trace source driving this core (snapshot extraction). */
+    TraceSource &source() { return *src_; }
+    const TraceSource &source() const { return *src_; }
+
   private:
     static constexpr std::uint64_t kPending =
         std::numeric_limits<std::uint64_t>::max();

@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <optional>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "harness/system.hpp"
@@ -78,14 +80,28 @@ struct ExperimentConfig
     std::uint32_t maxAttempts = 2;  //!< tries per run before PointFailure
     std::uint32_t retryBackoffMs = 0; //!< wall-clock pause between tries
 
+    // -- Warmup checkpointing ------------------------------------------
     /**
-     * Benches honor three environment knobs so the default sweep over
+     * When non-empty, runs execute in the phased warmup mode
+     * (simulatePhased) and cache their warmup-boundary snapshots under
+     * this directory, keyed by snapshot identity: re-running a point —
+     * or any point sharing its (arch, workload, seed, warmup, config,
+     * fault) prefix — fast-forwards past the entire warmup. Phased
+     * results are self-consistent but not identical to the default
+     * continuous-warmup results, so this is strictly opt-in.
+     */
+    std::string checkpointDir;
+
+    /**
+     * Benches honor four environment knobs so the default sweep over
      * every bench binary stays fast while full-fidelity runs remain a
      * single export away:
-     *   ESPNUCA_OPS   — references per core (default per bench)
-     *   ESPNUCA_RUNS  — seeded runs per data point
-     *   ESPNUCA_JOBS  — worker threads for the parallel runner
-     *                   (default: hardware concurrency; 1 = serial)
+     *   ESPNUCA_OPS      — references per core (default per bench)
+     *   ESPNUCA_RUNS     — seeded runs per data point
+     *   ESPNUCA_JOBS     — worker threads for the parallel runner
+     *                      (default: hardware concurrency; 1 = serial)
+     *   ESPNUCA_CKPT_DIR — warmup checkpoint cache directory (phased
+     *                      run mode; empty = legacy continuous warmup)
      */
     static ExperimentConfig
     fromEnv(std::uint64_t default_ops = 60'000,
@@ -99,6 +115,8 @@ struct ExperimentConfig
         if (const char *s = std::getenv("ESPNUCA_RUNS"))
             e.runs = static_cast<std::uint32_t>(
                 std::strtoul(s, nullptr, 10));
+        if (const char *s = std::getenv("ESPNUCA_CKPT_DIR"))
+            e.checkpointDir = s;
         return e;
     }
 
@@ -133,6 +151,57 @@ struct ExperimentConfig
             : splitmix64(base ^ (0x9E3779B97F4A7C15ULL * attempt));
     }
 };
+
+/**
+ * Digest of every result-affecting experiment knob (field order is part
+ * of the identity). Worker count and retry pacing affect scheduling
+ * only, never results, and are excluded — a sweep sharded across
+ * processes with different -j merges cleanly. The checkpoint directory
+ * path is likewise excluded, but whether phased warmup is enabled at
+ * all is included: phased and continuous warmup produce different
+ * (each self-consistent) results.
+ */
+inline std::uint64_t
+experimentConfigDigest(const ExperimentConfig &cfg)
+{
+    SnapshotWriter w;
+    w.u64(systemConfigDigest(cfg.system));
+    w.u64(cfg.opsPerCore);
+    w.u32(cfg.runs);
+    w.u64(cfg.baseSeed);
+    w.f64(cfg.warmupFraction);
+    w.str(cfg.faultPlan);
+    w.u32(cfg.maxAttempts);
+    w.b(!cfg.checkpointDir.empty());
+    return fnv1a(w.bytes().data(), w.bytes().size());
+}
+
+/**
+ * Warmup-checkpoint cache file for one seeded run. The name is only a
+ * cache key — simulatePhased still validates the full identity header,
+ * so a colliding or stale file degrades to a cold run, never a wrong
+ * one. Creates the cache directory on first use.
+ */
+inline std::string
+checkpointPath(const ExperimentConfig &cfg, const std::string &arch,
+               const std::string &workload, std::uint64_t seed)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.checkpointDir, ec);
+    SnapshotWriter w;
+    w.str(arch);
+    w.str(workload);
+    w.u64(seed);
+    w.u64(cfg.opsPerCore);
+    w.f64(cfg.warmupFraction);
+    w.u64(systemConfigDigest(cfg.system));
+    w.str(cfg.faultPlan);
+    const std::uint64_t h = fnv1a(w.bytes().data(), w.bytes().size());
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return cfg.checkpointDir + "/" + hex + ".ckpt";
+}
 
 /**
  * Fold per-seed run results into a data point. Always iterates in the
@@ -201,10 +270,17 @@ attemptRun(const ExperimentConfig &cfg, const std::string &arch,
         }
         const std::uint64_t seed = cfg.seedOf(r, a);
         try {
-            out.result = simulate(cfg.system, arch, workload,
-                                  cfg.opsPerCore, seed,
-                                  cfg.warmupFraction,
-                                  plan ? &*plan : nullptr);
+            if (cfg.checkpointDir.empty()) {
+                out.result = simulate(cfg.system, arch, workload,
+                                      cfg.opsPerCore, seed,
+                                      cfg.warmupFraction,
+                                      plan ? &*plan : nullptr);
+            } else {
+                out.result = simulatePhased(
+                    cfg.system, arch, workload, cfg.opsPerCore, seed,
+                    cfg.warmupFraction, plan ? &*plan : nullptr,
+                    checkpointPath(cfg, arch, workload, seed));
+            }
             return out;
         } catch (const std::exception &e) {
             out.failure = RunFailure{r, seed, a + 1, e.what()};
@@ -302,6 +378,15 @@ runPointParallel(const ExperimentConfig &cfg, const std::string &arch,
 class ExperimentMatrix
 {
   public:
+    /** One declared data point (the sweep engine iterates these). */
+    struct Entry
+    {
+        ExperimentConfig cfg;
+        std::string arch;
+        std::string workload;
+        std::string key;
+    };
+
     explicit ExperimentMatrix(ExperimentConfig base)
         : base_(std::move(base))
     {
@@ -326,7 +411,7 @@ class ExperimentMatrix
         if (index_.count(key) != 0)
             return;
         index_[key] = entries_.size();
-        entries_.push_back(Entry{cfg, arch, workload});
+        entries_.push_back(Entry{cfg, arch, workload, key});
     }
 
     /**
@@ -402,16 +487,12 @@ class ExperimentMatrix
     /** All points in declaration order (valid after run()). */
     const std::vector<DataPoint> &points() const { return points_; }
 
+    /** Declared points in declaration order (valid before run()). */
+    const std::vector<Entry> &entries() const { return entries_; }
+
     const ExperimentConfig &config() const { return base_; }
 
   private:
-    struct Entry
-    {
-        ExperimentConfig cfg;
-        std::string arch;
-        std::string workload;
-    };
-
     static std::string
     defaultKey(const std::string &arch, const std::string &workload)
     {

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -136,6 +137,21 @@ class JsonWriter
     {
         key(k);
         return value(v);
+    }
+
+    /**
+     * Inject a pre-serialized JSON value verbatim (comma/first-element
+     * logic still applies). The sweep engine assembles merged documents
+     * from stored value spans through this, which is what makes sharded
+     * and unsharded outputs byte-identical: the bytes are never
+     * re-serialized, only re-framed.
+     */
+    JsonWriter &
+    raw(const std::string &json)
+    {
+        comma();
+        out_ << json;
+        return *this;
     }
 
   private:

@@ -8,6 +8,7 @@
 #ifndef ESPNUCA_HARNESS_REPORT_HPP_
 #define ESPNUCA_HARNESS_REPORT_HPP_
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <string>
@@ -157,12 +158,91 @@ writePointJson(JsonWriter &w, const DataPoint &p)
     w.endObject();
 }
 
+/** Compiled-in `git describe` of the producing build (CMake stamp). */
+inline std::string
+buildDescribe()
+{
+#ifdef ESPNUCA_GIT_DESCRIBE
+    return ESPNUCA_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+/** 16-hex-digit rendering of a digest (stable across platforms). */
+inline std::string
+digestHex(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/** The "build" provenance object: which binary produced a document,
+ *  under which result-affecting configuration. espnuca-merge refuses
+ *  to merge shards whose build objects differ. */
+inline void
+writeBuildJson(JsonWriter &w, const ExperimentConfig &cfg)
+{
+    w.beginObject();
+    w.field("describe", buildDescribe());
+    w.field("config_digest", digestHex(experimentConfigDigest(cfg)));
+    w.endObject();
+}
+
+/** The "config" object of a bench document. */
+inline void
+writeConfigJson(JsonWriter &w, const ExperimentConfig &cfg)
+{
+    w.beginObject();
+    w.field("ops_per_core", cfg.opsPerCore);
+    w.field("runs", static_cast<std::uint64_t>(cfg.runs));
+    w.field("base_seed", cfg.baseSeed);
+    w.field("warmup_fraction", cfg.warmupFraction);
+    w.field("jobs", static_cast<std::uint64_t>(cfg.resolveJobs()));
+    w.field("cores", static_cast<std::uint64_t>(cfg.system.numCores));
+    w.field("l2_bytes", cfg.system.l2SizeBytes);
+    w.field("l2_banks", static_cast<std::uint64_t>(cfg.system.l2Banks));
+    w.endObject();
+}
+
+/** Standalone span producers: the writer is fully compact, so a value
+ *  serialized into a fresh writer is byte-identical to the same value
+ *  nested inside a larger document. The sweep engine stores these
+ *  spans per point and espnuca-merge re-frames them verbatim. */
+inline std::string
+pointToJson(const DataPoint &p)
+{
+    JsonWriter w;
+    writePointJson(w, p);
+    return w.str();
+}
+
+inline std::string
+configToJson(const ExperimentConfig &cfg)
+{
+    JsonWriter w;
+    writeConfigJson(w, cfg);
+    return w.str();
+}
+
+inline std::string
+buildToJson(const ExperimentConfig &cfg)
+{
+    JsonWriter w;
+    writeBuildJson(w, cfg);
+    return w.str();
+}
+
 /**
- * A whole bench as one JSON document: the experiment configuration
- * followed by every aggregated data point, in declaration order.
+ * A whole bench as one JSON document: build provenance, the experiment
+ * configuration, then every aggregated data point in declaration
+ * order.
  *
  * Schema:
  *   { "bench": <name>,
+ *     "build": { "describe", "config_digest" },
  *     "config": { "ops_per_core", "runs", "base_seed",
  *                 "warmup_fraction", "jobs", "cores", "l2_bytes",
  *                 "l2_banks" },
@@ -175,16 +255,10 @@ writeBenchJson(JsonWriter &w, const std::string &bench,
 {
     w.beginObject();
     w.field("bench", bench);
-    w.key("config").beginObject();
-    w.field("ops_per_core", cfg.opsPerCore);
-    w.field("runs", static_cast<std::uint64_t>(cfg.runs));
-    w.field("base_seed", cfg.baseSeed);
-    w.field("warmup_fraction", cfg.warmupFraction);
-    w.field("jobs", static_cast<std::uint64_t>(cfg.resolveJobs()));
-    w.field("cores", static_cast<std::uint64_t>(cfg.system.numCores));
-    w.field("l2_bytes", cfg.system.l2SizeBytes);
-    w.field("l2_banks", static_cast<std::uint64_t>(cfg.system.l2Banks));
-    w.endObject();
+    w.key("build");
+    writeBuildJson(w, cfg);
+    w.key("config");
+    writeConfigJson(w, cfg);
     w.key("points").beginArray();
     for (const DataPoint &p : points)
         writePointJson(w, p);

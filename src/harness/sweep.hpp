@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Sharded, resumable sweep engine. A figure bench declares its full
+ * point grid in an ExperimentMatrix and calls runSweep() before its
+ * normal table path; when the invocation carries sweep flags the engine
+ * takes over:
+ *
+ *   --list-points      print every point's stable hash, shard owner,
+ *                      and identity — no simulation
+ *   --shard i/N        simulate only the points whose hash lands in
+ *                      shard i of N (stable, disjoint, complete)
+ *   --results-dir DIR  write each completed point into its own JSON
+ *                      file DIR/<hash>.json (atomic tmp+rename);
+ *                      points whose file already exists and validates
+ *                      are skipped, so a killed sweep resumes by
+ *                      re-launching the same command
+ *
+ * tools/espnuca-merge reassembles the per-point files into a bench
+ * document byte-identical to the unsharded `--json` output: point
+ * files store the exact serialized spans (build, config, point) and
+ * the merge re-frames them without re-serializing anything.
+ */
+
+#ifndef ESPNUCA_HARNESS_SWEEP_HPP_
+#define ESPNUCA_HARNESS_SWEEP_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/snapshot.hpp"
+#include "harness/report.hpp"
+
+namespace espnuca {
+
+/** "i/N" shard designator: this process owns shard i of N. */
+struct ShardSpec
+{
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+
+    /** Parse "i/N" (0 <= i < N); throws std::invalid_argument. */
+    static ShardSpec
+    parse(const std::string &spec)
+    {
+        const std::size_t slash = spec.find('/');
+        if (slash == std::string::npos || slash == 0 ||
+            slash + 1 >= spec.size())
+            throw std::invalid_argument("shard spec wants i/N: " + spec);
+        for (std::size_t i = 0; i < spec.size(); ++i)
+            if (i != slash && (spec[i] < '0' || spec[i] > '9'))
+                throw std::invalid_argument("shard spec wants i/N: " +
+                                            spec);
+        ShardSpec s;
+        try {
+            s.index = static_cast<std::uint32_t>(
+                std::stoul(spec.substr(0, slash), nullptr, 10));
+            s.count = static_cast<std::uint32_t>(
+                std::stoul(spec.substr(slash + 1), nullptr, 10));
+        } catch (const std::exception &) {
+            throw std::invalid_argument("shard spec wants i/N: " + spec);
+        }
+        if (s.count == 0 || s.index >= s.count)
+            throw std::invalid_argument(
+                "shard index out of range in: " + spec);
+        return s;
+    }
+};
+
+/**
+ * Stable identity of one declared sweep point: bench name, point key,
+ * (arch, workload), and the digest of the point's own experiment
+ * configuration. Independent of declaration order, process, machine
+ * and shard count — the same point always hashes the same, which is
+ * what makes shards disjoint and resume files reusable.
+ */
+inline std::uint64_t
+pointHash(const std::string &bench, const ExperimentMatrix::Entry &e)
+{
+    SnapshotWriter w;
+    w.str(bench);
+    w.str(e.key);
+    w.str(e.arch);
+    w.str(e.workload);
+    w.u64(experimentConfigDigest(e.cfg));
+    // FNV-1a's low bit is a pure XOR parity of the input bytes, and the
+    // default key duplicates (arch, workload), which cancels their
+    // parity — without a finalizer every point in a grid lands on the
+    // same side of `hash % 2` and 2-way sharding degenerates.
+    return splitmix64(fnv1a(w.bytes().data(), w.bytes().size()));
+}
+
+/** A string as a JSON string literal (JsonWriter escaping). */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    JsonWriter w;
+    w.value(s);
+    return w.str();
+}
+
+/**
+ * Extract the raw value span of a top-level key from a compact JSON
+ * object (as produced by JsonWriter — no inter-token whitespace).
+ * String-aware and brace-balanced: spans may contain nested containers
+ * and escaped quotes. Returns "" when the key is absent. This is the
+ * only "parsing" the sweep engine ever does — spans are compared and
+ * re-framed byte-for-byte, never decoded.
+ */
+inline std::string
+jsonSpan(const std::string &doc, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::size_t i = 0;
+    int depth = 0;
+    bool in_str = false;
+    bool esc = false;
+    while (i < doc.size()) {
+        const char c = doc[i];
+        if (in_str) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            ++i;
+            continue;
+        }
+        if (c == '"') {
+            if (depth == 1 &&
+                doc.compare(i, needle.size(), needle) == 0) {
+                const std::size_t v = i + needle.size();
+                if (v >= doc.size())
+                    return std::string();
+                std::size_t end = v;
+                if (doc[v] == '"') {
+                    bool e2 = false;
+                    ++end;
+                    while (end < doc.size()) {
+                        const char k = doc[end];
+                        ++end;
+                        if (e2)
+                            e2 = false;
+                        else if (k == '\\')
+                            e2 = true;
+                        else if (k == '"')
+                            break;
+                    }
+                } else if (doc[v] == '{' || doc[v] == '[') {
+                    int d2 = 0;
+                    bool s2 = false;
+                    bool e2 = false;
+                    while (end < doc.size()) {
+                        const char k = doc[end];
+                        ++end;
+                        if (s2) {
+                            if (e2)
+                                e2 = false;
+                            else if (k == '\\')
+                                e2 = true;
+                            else if (k == '"')
+                                s2 = false;
+                        } else if (k == '"') {
+                            s2 = true;
+                        } else if (k == '{' || k == '[') {
+                            ++d2;
+                        } else if (k == '}' || k == ']') {
+                            if (--d2 == 0)
+                                break;
+                        }
+                    }
+                } else {
+                    while (end < doc.size() && doc[end] != ',' &&
+                           doc[end] != '}')
+                        ++end;
+                }
+                return doc.substr(v, end - v);
+            }
+            in_str = true;
+            ++i;
+            continue;
+        }
+        if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        ++i;
+    }
+    return std::string();
+}
+
+/**
+ * One completed point as stored in the results directory. The build /
+ * config / point members hold raw JSON value spans — exact bytes of
+ * the corresponding sections of the unsharded bench document.
+ */
+struct PointRecord
+{
+    std::string bench;
+    std::uint64_t hash = 0;
+    std::uint64_t index = 0; //!< declaration index in the grid
+    std::uint64_t total = 0; //!< grid size (same in every shard)
+    std::string key;         //!< raw span (JSON string literal)
+    std::string arch;        //!< raw span (JSON string literal)
+    std::string workload;    //!< raw span (JSON string literal)
+    std::string build;       //!< raw span (object)
+    std::string config;      //!< raw span (object)
+    std::string point;       //!< raw span (writePointJson object)
+};
+
+inline constexpr const char *kPointSchema = "espnuca-point-v1";
+
+/** Serialize a point record (one results-directory file, sans '\n'). */
+inline std::string
+pointRecordJson(const PointRecord &p)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kPointSchema);
+    w.field("bench", p.bench);
+    w.field("point_hash", digestHex(p.hash));
+    w.field("index", p.index);
+    w.field("total", p.total);
+    w.key("key").raw(p.key);
+    w.key("arch").raw(p.arch);
+    w.key("workload").raw(p.workload);
+    w.key("build").raw(p.build);
+    w.key("config").raw(p.config);
+    w.key("point").raw(p.point);
+    w.endObject();
+    return w.str();
+}
+
+/** Parse a results-directory file. @return false on any malformation
+ *  (wrong schema, missing sections, unparseable counters). */
+inline bool
+parsePointRecord(const std::string &doc, PointRecord &out)
+{
+    if (jsonSpan(doc, "schema") != jsonQuote(kPointSchema))
+        return false;
+    const std::string bench = jsonSpan(doc, "bench");
+    if (bench.size() < 2 || bench.front() != '"')
+        return false;
+    out.bench = bench.substr(1, bench.size() - 2);
+    const std::string hash = jsonSpan(doc, "point_hash");
+    if (hash.size() != 18 || hash.front() != '"')
+        return false;
+    out.hash = std::strtoull(hash.substr(1, 16).c_str(), nullptr, 16);
+    const std::string index = jsonSpan(doc, "index");
+    const std::string total = jsonSpan(doc, "total");
+    if (index.empty() || total.empty())
+        return false;
+    out.index = std::strtoull(index.c_str(), nullptr, 10);
+    out.total = std::strtoull(total.c_str(), nullptr, 10);
+    out.key = jsonSpan(doc, "key");
+    out.arch = jsonSpan(doc, "arch");
+    out.workload = jsonSpan(doc, "workload");
+    out.build = jsonSpan(doc, "build");
+    out.config = jsonSpan(doc, "config");
+    out.point = jsonSpan(doc, "point");
+    return !out.key.empty() && !out.arch.empty() &&
+           !out.workload.empty() && !out.build.empty() &&
+           !out.config.empty() && !out.point.empty();
+}
+
+/** Results file of a point (hash-addressed; bench-agnostic name so a
+ *  directory holds exactly one sweep's points). */
+inline std::string
+pointFilePath(const std::string &dir, std::uint64_t hash)
+{
+    return dir + "/" + digestHex(hash) + ".json";
+}
+
+/** Atomic write (tmp + rename): a killed sweep never leaves a torn
+ *  point file for the resume pass to trip over. */
+inline bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        if (!out.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Command-line surface of the sweep engine (shared by every bench). */
+struct SweepCli
+{
+    bool listPoints = false;
+    bool haveShard = false;
+    ShardSpec shard;
+    std::string resultsDir;
+
+    static SweepCli
+    fromArgs(int argc, char **argv)
+    {
+        SweepCli c;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--list-points") {
+                c.listPoints = true;
+            } else if (a == "--shard" && i + 1 < argc) {
+                c.shard = ShardSpec::parse(argv[++i]);
+                c.haveShard = true;
+            } else if (a.rfind("--shard=", 0) == 0) {
+                c.shard = ShardSpec::parse(a.substr(8));
+                c.haveShard = true;
+            } else if (a == "--results-dir" && i + 1 < argc) {
+                c.resultsDir = argv[++i];
+            } else if (a.rfind("--results-dir=", 0) == 0) {
+                c.resultsDir = a.substr(14);
+            }
+        }
+        return c;
+    }
+
+    /** Any sweep-engine mode requested? */
+    bool
+    engaged() const
+    {
+        return listPoints || haveShard || !resultsDir.empty();
+    }
+};
+
+/**
+ * Sweep-engine entry point. Call after declaring the full grid and
+ * before ExperimentMatrix::run(); returns true when a sweep mode
+ * handled the invocation (the bench should return 0 without running
+ * its table path). Exits with status 2 on CLI misuse.
+ *
+ * A sharded run simulates only this shard's points (hash % N == i, so
+ * N shards partition the grid disjointly and completely), one point at
+ * a time with the point's seeded repetitions fanned across the worker
+ * pool, and writes each finished point to its own results file.
+ * Points whose file already exists with matching bench/hash/build/
+ * config/index/total are skipped — resumption after a kill re-runs
+ * only what is missing.
+ */
+inline bool
+runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
+         char **argv)
+{
+    SweepCli cli;
+    try {
+        cli = SweepCli::fromArgs(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+    }
+    if (!cli.engaged())
+        return false;
+
+    const auto &entries = m.entries();
+    const std::uint32_t count = cli.haveShard ? cli.shard.count : 1;
+    const std::uint32_t index = cli.haveShard ? cli.shard.index : 0;
+
+    if (cli.listPoints) {
+        std::printf("%-16s %5s %6s  %-12s %-16s %s\n", "hash", "shard",
+                    "index", "arch", "workload", "config_digest");
+        std::size_t mine = 0;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const auto &e = entries[i];
+            const std::uint64_t h = pointHash(bench, e);
+            const std::uint32_t owner =
+                static_cast<std::uint32_t>(h % count);
+            if (owner == index || !cli.haveShard)
+                ++mine;
+            std::printf("%s %5u %6zu  %-12s %-16s %s\n",
+                        digestHex(h).c_str(), owner, i, e.arch.c_str(),
+                        e.workload.c_str(),
+                        digestHex(experimentConfigDigest(e.cfg))
+                            .c_str());
+        }
+        std::printf("%zu point(s)", entries.size());
+        if (cli.haveShard)
+            std::printf(", %zu in shard %u/%u", mine, index, count);
+        std::printf("; build %s\n", buildDescribe().c_str());
+        return true;
+    }
+
+    if (cli.resultsDir.empty()) {
+        std::fprintf(stderr,
+                     "--shard needs --results-dir to put points in\n");
+        std::exit(2);
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(cli.resultsDir, ec);
+
+    const std::string build = buildToJson(m.config());
+    const std::string config = configToJson(m.config());
+    const std::uint32_t jobs = m.config().resolveJobs();
+    std::optional<ThreadPool> pool;
+    if (jobs > 1)
+        pool.emplace(jobs);
+
+    std::size_t done = 0;
+    std::size_t skipped = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        const std::uint64_t h = pointHash(bench, e);
+        if (h % count != index)
+            continue;
+        const std::string path = pointFilePath(cli.resultsDir, h);
+        if (std::filesystem::exists(path)) {
+            std::ifstream in(path, std::ios::binary);
+            std::string doc((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+            PointRecord rec;
+            if (parsePointRecord(doc, rec) && rec.bench == bench &&
+                rec.hash == h && rec.index == i &&
+                rec.total == entries.size() && rec.build == build &&
+                rec.config == config) {
+                std::printf("[sweep] skip  %s %s/%s (valid result)\n",
+                            digestHex(h).c_str(), e.arch.c_str(),
+                            e.workload.c_str());
+                ++skipped;
+                continue;
+            }
+            std::printf("[sweep] redo  %s %s/%s (stale result)\n",
+                        digestHex(h).c_str(), e.arch.c_str(),
+                        e.workload.c_str());
+        }
+        const DataPoint p = runPointParallel(
+            e.cfg, e.arch, e.workload, pool ? &*pool : nullptr);
+        PointRecord rec;
+        rec.bench = bench;
+        rec.hash = h;
+        rec.index = i;
+        rec.total = entries.size();
+        rec.key = jsonQuote(e.key);
+        rec.arch = jsonQuote(e.arch);
+        rec.workload = jsonQuote(e.workload);
+        rec.build = build;
+        rec.config = config;
+        rec.point = pointToJson(p);
+        if (!writeFileAtomic(path, pointRecordJson(rec) + "\n")) {
+            std::fprintf(stderr, "[sweep] cannot write %s\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        std::printf("[sweep] done  %s %s/%s\n", digestHex(h).c_str(),
+                    e.arch.c_str(), e.workload.c_str());
+        ++done;
+    }
+    std::printf("[sweep] shard %u/%u: %zu computed, %zu resumed, "
+                "%zu point(s) total in grid\n",
+                index, count, done, skipped, entries.size());
+    return true;
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_HARNESS_SWEEP_HPP_

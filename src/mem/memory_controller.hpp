@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/config.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace espnuca {
@@ -66,6 +67,24 @@ class MemoryController
     {
         accesses_ = 0;
         queueWait_ = 0;
+    }
+
+    // -- Snapshot/restore ----------------------------------------------
+
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u64(freeAt_);
+        w.u64(accesses_);
+        w.u64(queueWait_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        freeAt_ = r.u64();
+        accesses_ = r.u64();
+        queueWait_ = r.u64();
     }
 
   private:

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace espnuca {
@@ -179,6 +180,47 @@ class Link
         degradedCycles_ = 0;
         compactions_ = 0;
         peakIntervals_ = busy_.size();
+    }
+
+    // -- Snapshot/restore ----------------------------------------------
+
+    /** Serialize occupancy and statistics. Degradation windows are
+     *  configuration (re-applied from the fault plan at construction)
+     *  and not part of the snapshot. */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u64(busy_.size());
+        for (const Busy &b : busy_) {
+            w.u64(b.start);
+            w.u64(b.end);
+        }
+        w.u64(flitsSent_);
+        w.u64(messages_);
+        w.u64(compactions_);
+        w.u64(peakIntervals_);
+        w.u64(waitCycles_);
+        w.u64(degradedCycles_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        busy_.clear();
+        const std::uint64_t n = r.u64();
+        busy_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Busy b;
+            b.start = r.u64();
+            b.end = r.u64();
+            busy_.push_back(b);
+        }
+        flitsSent_ = r.u64();
+        messages_ = r.u64();
+        compactions_ = r.u64();
+        peakIntervals_ = r.u64();
+        waitCycles_ = r.u64();
+        degradedCycles_ = r.u64();
     }
 
   private:

@@ -201,6 +201,29 @@ class Mesh
     /** Attach the system's trace sink (null = untraced, the default). */
     void setTracer(obs::Tracer *t) { tracer_ = t; }
 
+    // -- Snapshot/restore ----------------------------------------------
+
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u64(links_.size());
+        for (const auto &l : links_)
+            l.save(w);
+        w.u64(messagesSent_);
+        w.u64(totalLatency_);
+    }
+
+    void
+    load(SnapshotReader &r)
+    {
+        if (r.u64() != links_.size())
+            throw SnapshotError("mesh link-count mismatch");
+        for (auto &l : links_)
+            l.load(r);
+        messagesSent_ = r.u64();
+        totalLatency_ = r.u64();
+    }
+
   private:
     /** Record one link traversal, attributed via the tracer's current
      * transaction (set by the protocol before routing). */

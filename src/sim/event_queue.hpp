@@ -204,6 +204,27 @@ class EventQueue
     /** True when any non-observer event is still pending. */
     bool hasRealWork() const { return pending_ > auxPending_; }
 
+    // -- Snapshot/restore ------------------------------------------------
+
+    /** Sequence counter (snapshot identity of FIFO tie-breaking). */
+    std::uint64_t seq() const { return seq_; }
+
+    /**
+     * Restore the clock, executed-event count and FIFO sequence counter
+     * of a drained queue. Only legal while empty: the wheel, far heap
+     * and slab hold no events at an epoch boundary, so the counters are
+     * the queue's entire logical state.
+     */
+    void
+    restoreDrained(Cycle now, std::uint64_t executed, std::uint64_t seq)
+    {
+        ESP_ASSERT(pending_ == 0, "restoring a non-empty event queue");
+        ESP_ASSERT(now >= now_, "restoring the clock backwards");
+        now_ = now;
+        executed_ = executed;
+        seq_ = seq;
+    }
+
   private:
     // Kept out of line of run() so the profiling scope's guard/EH
     // bookkeeping cannot perturb the drain loop's codegen.

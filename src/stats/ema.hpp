@@ -60,6 +60,9 @@ class ShiftEma
     /** Reset the estimate (e.g., at a phase boundary). */
     void reset(std::uint32_t v = 0) { value_ = v; }
 
+    /** Overwrite the register exactly (snapshot restore). */
+    void setRaw(std::uint32_t v) { value_ = v; }
+
     /** Fixed-point width b. */
     unsigned bits() const { return bBits_; }
 
@@ -114,6 +117,20 @@ class BatchedShiftEma
 
     /** Samples buffered but not yet applied (testing aid). */
     std::uint32_t pending() const { return pending_; }
+
+    // -- Snapshot/restore: expose the exact register + buffer so a
+    //    restored run flushes identically to the uninterrupted one.
+    std::uint32_t rawNoFlush() const { return ema_.raw(); }
+    std::uint64_t pendingBits() const { return bits_; }
+
+    void
+    restore(std::uint32_t raw_value, std::uint64_t bits,
+            std::uint32_t pending)
+    {
+        ema_.setRaw(raw_value);
+        bits_ = bits;
+        pending_ = pending;
+    }
 
     /** Reset estimate and buffer. */
     void

@@ -21,6 +21,7 @@
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "cpu/trace_core.hpp"
 
@@ -150,6 +151,46 @@ class SyntheticSource : public TraceSource
     }
 
     std::uint64_t emitted() const { return emitted_; }
+
+    // -- Snapshot/restore ----------------------------------------------
+
+    /** Serialize the mutable generator state (the derived region sizes
+     *  are reconstructed from the params at construction). */
+    void
+    save(SnapshotWriter &w) const
+    {
+        std::uint64_t st[4];
+        rng_.saveState(st);
+        for (const std::uint64_t v : st)
+            w.u64(v);
+        w.u64(emitted_);
+        w.u64(coldCursor_);
+        w.u64(windowBase_);
+        w.u64(windowAccesses_);
+    }
+
+    /**
+     * Restore the generator mid-stream. `ops_override` (non-zero)
+     * replaces p_.ops and resets emitted_, so a tail source constructed
+     * from a warmup checkpoint emits exactly `ops_override` further
+     * references continuing the warmup run's random stream.
+     */
+    void
+    load(SnapshotReader &r, std::uint64_t ops_override = 0)
+    {
+        std::uint64_t st[4];
+        for (auto &v : st)
+            v = r.u64();
+        rng_.loadState(st);
+        emitted_ = r.u64();
+        coldCursor_ = r.u64();
+        windowBase_ = r.u64();
+        windowAccesses_ = r.u64();
+        if (ops_override != 0) {
+            p_.ops = ops_override;
+            emitted_ = 0;
+        }
+    }
 
   private:
     static double

@@ -21,7 +21,12 @@
 #     audit_overhead_pct records what compiling the audit in costs),
 #   - bench/micro_protocol --ratio --stages: ESP-vs-S-NUCA throughput
 #     ratio and the prof.*-based ESP hot-path stage breakdown
-#     (probe/replace/ema/helping), merged into the "protocol" section.
+#     (probe/replace/ema/helping), merged into the "protocol" section,
+#   - the sharded sweep engine: a small fig07 grid as two sequential
+#     shards + espnuca-merge (byte-compared against the unsharded
+#     document) with the sweep wall-clock recorded, and a cold-vs-warm
+#     espnuca-sim checkpoint pair measuring the warmup fast-forward
+#     speedup ("sweep" section; the warm restore must be >= 2x).
 #
 # Perf guard: if the previous BENCH_core.json exists, the script fails
 # when ESP-NUCA ns/tx regresses more than 15 % against it. Export
@@ -35,7 +40,10 @@
 #     "fig07": { "wall_seconds", "json_path" },
 #     "obs": { "obs_on": {...}, "obs_off": {...}, "overhead_pct" },
 #     "protocol": { "snuca": {...}, "esp_nuca": {...},
-#                   "snuca_audit_on": {...}, "audit_overhead_pct" } }
+#                   "snuca_audit_on": {...}, "audit_overhead_pct" },
+#     "sweep": { "two_shard_fig07_wall_seconds",
+#                "warm_restore": { "cold_seconds", "warm_seconds",
+#                                  "speedup" } } }
 #
 # Environment: ESPNUCA_OPS / ESPNUCA_RUNS / ESPNUCA_JOBS thread through
 # to fig07 as in every figure bench.
@@ -98,13 +106,47 @@ FIG07_START=$(date +%s.%N)
     > /dev/null
 FIG07_END=$(date +%s.%N)
 
+echo "== bench_perf: sharded sweep (2 shards + merge, byte compare) =="
+cmake --build build-release -j --target espnuca-sim espnuca-merge \
+    > /dev/null
+SWEEP_DIR=$(mktemp -d)
+sweep_fig07() {
+    env ESPNUCA_OPS=8000 ESPNUCA_RUNS=2 ESPNUCA_JOBS=2 \
+        ./build-release/bench/fig07_onchip_offchip "$@" > /dev/null
+}
+SWEEP_START=$(date +%s.%N)
+sweep_fig07 --shard 0/2 --results-dir "$SWEEP_DIR/points"
+sweep_fig07 --shard 1/2 --results-dir "$SWEEP_DIR/points"
+./build-release/tools/espnuca-merge --results-dir "$SWEEP_DIR/points" \
+    --out "$SWEEP_DIR/merged.json" > /dev/null
+SWEEP_END=$(date +%s.%N)
+sweep_fig07 --json "$SWEEP_DIR/unsharded.json"
+cmp "$SWEEP_DIR/unsharded.json" "$SWEEP_DIR/merged.json"
+
+echo "== bench_perf: warm-restore fast-forward (cold vs restored) =="
+CKPT_DIR=$(mktemp -d)
+warm_sim() {
+    ./build-release/tools/espnuca-sim --arch esp-nuca \
+        --workload apache --ops 200000 --warmup 0.8 \
+        --checkpoint "$CKPT_DIR" --json
+}
+COLD_START=$(date +%s.%N)
+warm_sim > "$CKPT_DIR/cold.json"
+COLD_END=$(date +%s.%N)
+warm_sim > "$CKPT_DIR/warm.json"
+WARM_END=$(date +%s.%N)
+cmp "$CKPT_DIR/cold.json" "$CKPT_DIR/warm.json"
+
 python3 - "$MICRO_JSON" "$OUT" "$FIG07_JSON" \
     "$FIG07_START" "$FIG07_END" "$OBSOFF_JSON" \
-    "$PROTO_JSON" "$AUDITON_JSON" "$BREAKDOWN_JSON" <<'PY'
+    "$PROTO_JSON" "$AUDITON_JSON" "$BREAKDOWN_JSON" \
+    "$SWEEP_START" "$SWEEP_END" "$COLD_START" "$COLD_END" \
+    "$WARM_END" <<'PY'
 import json, os, sys
 
 (micro_path, out_path, fig07_path, t0, t1, obsoff_path,
- proto_path, auditon_path, breakdown_path) = sys.argv[1:10]
+ proto_path, auditon_path, breakdown_path,
+ sweep_t0, sweep_t1, cold_t0, cold_t1, warm_t1) = sys.argv[1:15]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(obsoff_path) as f:
@@ -199,7 +241,27 @@ report = {
             "esp_over_snuca"),
         "esp_stages_ns_per_tx": breakdown.get("stages_ns_per_tx"),
     },
+    # Sharded sweep engine: wall clock of the two-shard fig07 sweep
+    # (sequential shards + merge; the merged document was byte-compared
+    # against the unsharded run above), and the warmup checkpoint
+    # fast-forward — a restored run must beat its cold twin by >= 2x.
+    "sweep": {
+        "two_shard_fig07_wall_seconds": round(
+            float(sweep_t1) - float(sweep_t0), 2),
+        "warm_restore": {
+            "cold_seconds": round(float(cold_t1) - float(cold_t0), 2),
+            "warm_seconds": round(float(warm_t1) - float(cold_t1), 2),
+            "speedup": round((float(cold_t1) - float(cold_t0)) /
+                             max(float(warm_t1) - float(cold_t1),
+                                 1e-9), 2),
+        },
+    },
 }
+
+speedup = report["sweep"]["warm_restore"]["speedup"]
+if speedup < 2.0:
+    raise SystemExit(f"sweep guard: warm restore only {speedup:.2f}x "
+                     "over cold (need >= 2x)")
 
 # Regression guard: fail on >15 % ESP ns/tx regression vs the committed
 # baseline (ESPNUCA_SKIP_PERF_GUARD=1 accepts intentional changes).
@@ -219,4 +281,5 @@ print(json.dumps(report, indent=2))
 PY
 rm -f "$MICRO_JSON" "$OBSOFF_JSON" "$PROTO_JSON" "$AUDITON_JSON" \
     "$BREAKDOWN_JSON"
+rm -rf "$SWEEP_DIR" "$CKPT_DIR"
 echo "== bench_perf: wrote $OUT =="

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * espnuca-merge: reassemble a sharded sweep's per-point result files
+ * into one bench JSON document.
+ *
+ *   espnuca-merge --results-dir DIR --out FILE [--bench NAME]
+ *
+ * Point files store the exact serialized spans of the unsharded bench
+ * document (build, config, each point), so the merge never re-derives
+ * a byte: it validates that every shard came from the same grid and
+ * the same build, orders the points by their declaration index, and
+ * re-frames the stored spans verbatim. The output is byte-identical
+ * to the `--json` file an unsharded run of the same bench writes.
+ *
+ * Refusals (exit 1): mixed benches, mismatched build/config spans
+ * (different binaries or result-affecting knobs), duplicate indices,
+ * or an incomplete grid (a shard is still missing — the message lists
+ * which indices).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+using namespace espnuca;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: espnuca-merge --results-dir DIR --out FILE "
+        "[--bench NAME]\n"
+        "  --results-dir DIR  per-point files of a sharded sweep\n"
+        "  --out FILE         merged bench JSON document to write\n"
+        "  --bench NAME       refuse points from any other bench\n");
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    std::string out;
+    std::string bench;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a == "--results-dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (a.rfind("--results-dir=", 0) == 0) {
+            dir = a.substr(14);
+        } else if (a == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (a.rfind("--out=", 0) == 0) {
+            out = a.substr(6);
+        } else if (a == "--bench" && i + 1 < argc) {
+            bench = argv[++i];
+        } else if (a.rfind("--bench=", 0) == 0) {
+            bench = a.substr(8);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage(2);
+        }
+    }
+    if (dir.empty() || out.empty())
+        usage(2);
+
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
+                     ec.message().c_str());
+        return 1;
+    }
+
+    std::map<std::uint64_t, PointRecord> byIndex;
+    std::string build;
+    std::string config;
+    std::uint64_t total = 0;
+    std::size_t files = 0;
+    for (const auto &entry : it) {
+        const std::string path = entry.path().string();
+        if (entry.path().extension() != ".json")
+            continue;
+        std::ifstream in(path, std::ios::binary);
+        std::string doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        PointRecord rec;
+        if (!parsePointRecord(doc, rec)) {
+            std::fprintf(stderr, "%s: not a point record\n",
+                         path.c_str());
+            return 1;
+        }
+        ++files;
+        if (bench.empty())
+            bench = rec.bench;
+        if (rec.bench != bench) {
+            std::fprintf(stderr,
+                         "%s: bench \"%s\" does not match \"%s\"\n",
+                         path.c_str(), rec.bench.c_str(),
+                         bench.c_str());
+            return 1;
+        }
+        if (build.empty()) {
+            build = rec.build;
+            config = rec.config;
+            total = rec.total;
+        }
+        if (rec.build != build) {
+            std::fprintf(stderr,
+                         "%s: produced by a different build — refusing "
+                         "to merge\n  have: %s\n  file: %s\n",
+                         path.c_str(), build.c_str(),
+                         rec.build.c_str());
+            return 1;
+        }
+        if (rec.config != config || rec.total != total) {
+            std::fprintf(stderr,
+                         "%s: produced from a different grid — "
+                         "refusing to merge\n",
+                         path.c_str());
+            return 1;
+        }
+        const std::uint64_t idx = rec.index;
+        if (!byIndex.emplace(idx, std::move(rec)).second) {
+            std::fprintf(stderr, "%s: duplicate point index %llu\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(idx));
+            return 1;
+        }
+    }
+
+    if (files == 0) {
+        std::fprintf(stderr, "%s: no point files\n", dir.c_str());
+        return 1;
+    }
+    if (byIndex.size() != total ||
+        byIndex.rbegin()->first != total - 1) {
+        std::fprintf(stderr,
+                     "incomplete grid: %zu of %llu point(s); missing:",
+                     byIndex.size(),
+                     static_cast<unsigned long long>(total));
+        std::size_t shown = 0;
+        for (std::uint64_t i = 0; i < total && shown < 16; ++i)
+            if (byIndex.count(i) == 0) {
+                std::fprintf(stderr, " %llu",
+                             static_cast<unsigned long long>(i));
+                ++shown;
+            }
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    // Same frame writeBenchJson emits, with every value re-framed from
+    // the stored spans — never re-serialized.
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", bench);
+    w.key("build").raw(build);
+    w.key("config").raw(config);
+    w.key("points").beginArray();
+    for (const auto &[idx, rec] : byIndex)
+        w.raw(rec.point);
+    w.endArray();
+    w.endObject();
+
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", out.c_str());
+        return 1;
+    }
+    os << w.str() << '\n';
+    if (!os.good()) {
+        std::fprintf(stderr, "write to %s failed\n", out.c_str());
+        return 1;
+    }
+    std::printf("merged %llu point(s) of %s into %s\n",
+                static_cast<unsigned long long>(total), bench.c_str(),
+                out.c_str());
+    return 0;
+}

@@ -38,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 #include "harness/system.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_buffer.hpp"
@@ -65,6 +67,10 @@ struct Options
     std::string replayTrace;
     std::string faultPlan;
     std::uint32_t retries = 1; //!< attempts per run
+    std::string checkpointDir; //!< warmup snapshot cache ("" = legacy)
+    bool listPoints = false;   //!< print run identities, no simulation
+    bool haveShard = false;
+    ShardSpec shard;           //!< own only runs hashing into this shard
     std::string traceOut;      //!< Perfetto trace path ("" = untraced)
     std::uint8_t traceMask = obs::kCatAll;
     Cycle metricsInterval = 0; //!< 0 = no epoch telemetry
@@ -94,6 +100,13 @@ usage(int code)
         "  --watchdog N         fail after N cycles without progress\n"
         "  --max-cycles N       absolute simulated-cycle ceiling\n"
         "  --retries N          attempts per run before failing it\n"
+        "  --checkpoint DIR     cache warmup snapshots under DIR and\n"
+        "                       fast-forward runs that hit the cache\n"
+        "                       (phased warmup mode)\n"
+        "  --shard i/N          execute only the seeded runs whose\n"
+        "                       stable hash lands in shard i of N\n"
+        "  --list-points        print every run's point hash, shard\n"
+        "                       owner and identity; simulate nothing\n"
         "  --trace-out FILE     write a Chrome/Perfetto trace of run 0\n"
         "  --trace-filter W     trace categories: all | tx | bank | core\n"
         "  --metrics-interval N sample epoch telemetry every N cycles\n"
@@ -182,6 +195,18 @@ parse(int argc, char **argv)
             o.system.watchdogMaxCycles = parseU64(next());
         } else if (a == "--retries") {
             o.retries = static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--checkpoint") {
+            o.checkpointDir = next();
+        } else if (a == "--shard") {
+            try {
+                o.shard = ShardSpec::parse(next());
+                o.haveShard = true;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                usage(2);
+            }
+        } else if (a == "--list-points") {
+            o.listPoints = true;
         } else if (a == "--trace-out") {
             o.traceOut = next();
         } else if (a == "--trace-filter") {
@@ -229,6 +254,38 @@ parse(int argc, char **argv)
     return o;
 }
 
+/** Experiment-level view of the CLI options (digest, checkpoint key). */
+ExperimentConfig
+cliConfig(const Options &o)
+{
+    ExperimentConfig cfg;
+    cfg.system = o.system;
+    cfg.opsPerCore = o.ops;
+    cfg.runs = o.runs;
+    cfg.baseSeed = o.seed;
+    cfg.warmupFraction = o.warmup;
+    cfg.faultPlan = o.faultPlan;
+    cfg.maxAttempts = o.retries;
+    cfg.checkpointDir = o.checkpointDir;
+    return cfg;
+}
+
+/** Stable identity of seeded run r: arch x workload x seed x config —
+ *  the same partitioning scheme the bench sweep engine uses, applied
+ *  at the granularity espnuca-sim works at (individual runs). */
+std::uint64_t
+runHash(const Options &o, std::uint32_t r)
+{
+    SnapshotWriter w;
+    w.str(o.arch);
+    w.str(o.workload);
+    w.u64(o.seed + r * 7919);
+    w.u64(experimentConfigDigest(cliConfig(o)));
+    // Finalized like pointHash(): raw FNV-1a parity is too structured
+    // for `hash % N` shard assignment (see sweep.hpp).
+    return splitmix64(fnv1a(w.bytes().data(), w.bytes().size()));
+}
+
 /**
  * Arm the observability hooks, run, and drain the trace. `traced` is
  * true only for the first repetition — one trace file per invocation.
@@ -268,6 +325,21 @@ runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan,
         System sys(cfg, o.arch, "replay:" + o.replayTrace,
                    std::move(sources), seed, o.warmup, total, plan);
         return runSystem(o, sys, traced);
+    }
+
+    if (!o.checkpointDir.empty()) {
+        // Phased warmup with snapshot fast-forward: the warmup prefix
+        // runs (or restores) as its own drained epoch, so the System is
+        // built internally and runSystem's observability hooks don't
+        // apply; --stats still works through the phased stats dump.
+        std::string stats;
+        const RunResult r = simulatePhased(
+            cfg, o.arch, o.workload, o.ops, seed, o.warmup, plan,
+            checkpointPath(cliConfig(o), o.arch, o.workload, seed),
+            nullptr, o.stats ? &stats : nullptr);
+        if (o.stats)
+            std::cout << stats;
+        return r;
     }
 
     const Workload wl = makeWorkload(o.workload, cfg, o.ops, seed);
@@ -339,6 +411,41 @@ main(int argc, char **argv)
     }
     const FaultPlan *planPtr = plan ? &*plan : nullptr;
 
+    const std::uint32_t shardCount = o.haveShard ? o.shard.count : 1;
+    const std::uint32_t shardIndex = o.haveShard ? o.shard.index : 0;
+
+    if (o.listPoints) {
+        std::printf("%-16s %5s %4s %12s  %s\n", "hash", "shard", "run",
+                    "seed", "config_digest");
+        std::size_t mine = 0;
+        for (std::uint32_t r = 0; r < o.runs; ++r) {
+            const std::uint64_t h = runHash(o, r);
+            const auto owner = static_cast<std::uint32_t>(h % shardCount);
+            if (owner == shardIndex)
+                ++mine;
+            std::printf("%s %5u %4u %12llu  %s\n",
+                        digestHex(h).c_str(), owner, r,
+                        static_cast<unsigned long long>(o.seed +
+                                                        r * 7919),
+                        digestHex(experimentConfigDigest(cliConfig(o)))
+                            .c_str());
+        }
+        std::printf("%u run(s)", o.runs);
+        if (o.haveShard)
+            std::printf(", %zu in shard %u/%u", mine, shardIndex,
+                        shardCount);
+        std::printf("; build %s\n", buildDescribe().c_str());
+        return 0;
+    }
+
+    // Stable shard partition over the seeded runs: every shard walks
+    // the same hashes, so N shards cover each run exactly once.
+    std::vector<std::uint32_t> selected;
+    selected.reserve(o.runs);
+    for (std::uint32_t r = 0; r < o.runs; ++r)
+        if (!o.haveShard || runHash(o, r) % shardCount == shardIndex)
+            selected.push_back(r);
+
     if (o.prof)
         obs::setProfiling(true);
 
@@ -361,23 +468,24 @@ main(int argc, char **argv)
     // run, so those modes stay serial.
     const std::uint32_t jobs =
         o.jobs != 0 ? o.jobs : ThreadPool::defaultJobs();
-    const bool parallel = jobs > 1 && o.runs > 1 && !o.stats &&
+    const bool parallel = jobs > 1 && selected.size() > 1 && !o.stats &&
                           o.recordTrace.empty() && o.traceOut.empty();
     std::optional<ThreadPool> pool;
     std::vector<std::future<RunOutcome>> futs;
     if (parallel) {
         pool.emplace(jobs);
-        futs.reserve(o.runs);
-        for (std::uint32_t r = 0; r < o.runs; ++r)
+        futs.reserve(selected.size());
+        for (const std::uint32_t r : selected)
             futs.push_back(pool->submit(
                 [&o, r, planPtr]() { return attemptCli(o, r, planPtr); }));
     }
 
     RunningStats thr;
     std::uint32_t failed = 0;
-    for (std::uint32_t r = 0; r < o.runs; ++r) {
+    for (std::size_t k = 0; k < selected.size(); ++k) {
+        const std::uint32_t r = selected[k];
         const RunOutcome out =
-            parallel ? futs[r].get() : attemptCli(o, r, planPtr);
+            parallel ? futs[k].get() : attemptCli(o, r, planPtr);
         if (!out.result) {
             ++failed;
             const RunFailure &f = out.failure;
@@ -425,9 +533,9 @@ main(int argc, char **argv)
             json.endObject();
         }
         std::printf("%s\n", json.str().c_str());
-    } else if (!o.csv && o.runs > 1) {
-        std::printf("throughput mean=%.3f ci95=%.3f over %u runs\n",
-                    thr.mean(), thr.ci95(), o.runs);
+    } else if (!o.csv && selected.size() > 1) {
+        std::printf("throughput mean=%.3f ci95=%.3f over %zu runs\n",
+                    thr.mean(), thr.ci95(), selected.size());
     }
     if (o.prof && !o.json) {
         std::ostringstream os;

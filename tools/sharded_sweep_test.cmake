@@ -1,0 +1,82 @@
+# Integration test for the sharded, resumable sweep engine: run a small
+# fig07 grid unsharded, then as two shards into a results directory,
+# re-run one shard (must resume from the existing point files without
+# recomputing), merge, and byte-compare the merged document against the
+# unsharded one. ESPNUCA_JOBS is pinned because the config section
+# records the resolved worker count; ESPNUCA_CKPT_DIR is cleared because
+# phased warmup deliberately produces different (self-consistent)
+# results than the default continuous warmup.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+set(env ${CMAKE_COMMAND} -E env
+    ESPNUCA_OPS=1000 ESPNUCA_RUNS=2 ESPNUCA_JOBS=2
+    --unset=ESPNUCA_CKPT_DIR)
+
+execute_process(
+    COMMAND ${env} ${BENCH} --json ${WORKDIR}/unsharded.json
+    RESULT_VARIABLE r
+    OUTPUT_QUIET
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "unsharded run failed: ${r}")
+endif()
+
+execute_process(
+    COMMAND ${env} ${BENCH} --list-points --shard 0/2
+    RESULT_VARIABLE r
+    OUTPUT_VARIABLE points_out
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "--list-points failed: ${r}")
+endif()
+string(FIND "${points_out}" "point(s)" found)
+if(found EQUAL -1)
+    message(FATAL_ERROR "--list-points output unexpected: ${points_out}")
+endif()
+
+foreach(shard 0 1)
+    execute_process(
+        COMMAND ${env} ${BENCH} --shard ${shard}/2
+                --results-dir ${WORKDIR}/points
+        RESULT_VARIABLE r
+        OUTPUT_QUIET
+    )
+    if(NOT r EQUAL 0)
+        message(FATAL_ERROR "shard ${shard}/2 failed: ${r}")
+    endif()
+endforeach()
+
+# Relaunching a finished shard must skip every point (resume path).
+execute_process(
+    COMMAND ${env} ${BENCH} --shard 0/2 --results-dir ${WORKDIR}/points
+    RESULT_VARIABLE r
+    OUTPUT_VARIABLE resume_out
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "resumed shard failed: ${r}")
+endif()
+string(FIND "${resume_out}" "0 computed" found)
+if(found EQUAL -1)
+    message(FATAL_ERROR "resumed shard recomputed points: ${resume_out}")
+endif()
+
+execute_process(
+    COMMAND ${MERGE} --results-dir ${WORKDIR}/points
+            --out ${WORKDIR}/merged.json
+    RESULT_VARIABLE r
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "merge failed: ${r}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/unsharded.json ${WORKDIR}/merged.json
+    RESULT_VARIABLE r
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR
+            "merged document differs from the unsharded run")
+endif()
+file(REMOVE_RECURSE ${WORKDIR})

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Checked atomic file replacement: write to `path.tmp`, fsync, rename
+ * over `path`, fsync the parent directory. Every syscall result is
+ * inspected — a short write, ENOSPC, a failing close or rename all
+ * surface as a structured FileError naming the stage and errno instead
+ * of leaving a plausible-looking partial file behind. The tmp file is
+ * unlinked on any failure, so a crashed or refused write never pollutes
+ * the target directory with anything a resume pass could mistake for a
+ * result.
+ *
+ * Two durability levels:
+ *  - durable (default): fsync file + parent directory before returning,
+ *    so a machine crash after success cannot lose or tear the artifact.
+ *    Snapshot checkpoints, per-point results and merged documents use
+ *    this.
+ *  - best-effort (fsync skipped): for advisory files rewritten every
+ *    few hundred milliseconds (supervisor heartbeats), where losing the
+ *    last update to a power cut is harmless and the fsync would serialize
+ *    the sweep on the storage stack.
+ */
+
+#ifndef ESPNUCA_COMMON_ATOMIC_FILE_HPP_
+#define ESPNUCA_COMMON_ATOMIC_FILE_HPP_
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace espnuca {
+
+/** Structured outcome of a failed file operation. */
+struct FileError
+{
+    std::string path;  //!< file the operation targeted
+    std::string stage; //!< syscall that failed: open/write/fsync/...
+    int err = 0;       //!< errno at the point of failure
+
+    bool ok() const { return stage.empty(); }
+
+    std::string
+    message() const
+    {
+        if (ok())
+            return "ok";
+        return path + ": " + stage + " failed: " +
+               (err != 0 ? std::strerror(err) : "short write");
+    }
+};
+
+namespace detail {
+
+/**
+ * Test seam: when set, replaces ::write for atomic-file writes so the
+ * corruption-injection tests can force ENOSPC and short-write paths
+ * without filling a real filesystem. Never set in production code.
+ */
+using WriteHook = long (*)(int fd, const void *buf, std::size_t n);
+inline WriteHook g_atomic_write_hook = nullptr;
+
+inline long
+writeSome(int fd, const void *buf, std::size_t n)
+{
+    if (g_atomic_write_hook != nullptr)
+        return g_atomic_write_hook(fd, buf, n);
+    return ::write(fd, buf, n);
+}
+
+/** fsync the directory containing `path` (durable rename). */
+inline bool
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace detail
+
+/**
+ * Atomically replace `path` with `content`. On failure fills `*error`
+ * (when given) with the failing stage + errno, removes the tmp file,
+ * and returns false; `path` itself is never touched by a failed write.
+ */
+inline bool
+writeFileAtomicChecked(const std::string &path,
+                       const std::string &content, bool durable = true,
+                       FileError *error = nullptr)
+{
+    auto fail = [&](const char *stage, int err, int fd,
+                    bool unlink_tmp) {
+        if (error != nullptr)
+            *error = FileError{path, stage, err};
+        if (fd >= 0)
+            ::close(fd);
+        if (unlink_tmp)
+            ::unlink((path + ".tmp").c_str());
+        return false;
+    };
+    if (error != nullptr)
+        *error = FileError{};
+
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return fail("open", errno, -1, false);
+
+    std::size_t off = 0;
+    while (off < content.size()) {
+        const long n = detail::writeSome(fd, content.data() + off,
+                                         content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail("write", errno, fd, true);
+        }
+        if (n == 0) // 0-byte write: no progress, treat as short write
+            return fail("write", ENOSPC, fd, true);
+        off += static_cast<std::size_t>(n);
+    }
+
+    if (durable && ::fsync(fd) != 0)
+        return fail("fsync", errno, fd, true);
+    if (::close(fd) != 0)
+        return fail("close", errno, -1, true);
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        return fail("rename", errno, -1, true);
+    if (durable && !detail::syncParentDir(path))
+        return fail("fsync-dir", errno, -1, false);
+    return true;
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_ATOMIC_FILE_HPP_

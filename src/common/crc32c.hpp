@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41) content checksums for the
+ * persistent artifact formats: snapshot files carry a 4-byte trailer,
+ * per-point sweep results a "crc32c" field. CRC32C rather than plain
+ * CRC32 because its error-detection properties over short-to-medium
+ * records are better understood (it is the iSCSI/ext4/RocksDB choice),
+ * and hardware implementations exist should the software table ever
+ * show up in a profile — it never will here, the artifacts are written
+ * once per point.
+ *
+ * Table-driven, reflected, init/xorout 0xFFFFFFFF — the standard
+ * parameterization: crc32c("123456789") == 0xE3069283.
+ */
+
+#ifndef ESPNUCA_COMMON_CRC32C_HPP_
+#define ESPNUCA_COMMON_CRC32C_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace espnuca {
+
+namespace detail {
+
+/** The 256-entry lookup table for the reflected polynomial. */
+inline constexpr std::array<std::uint32_t, 256>
+makeCrc32cTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    makeCrc32cTable();
+
+} // namespace detail
+
+/** CRC32C of a byte range (standard init/final inversion). */
+inline std::uint32_t
+crc32c(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = detail::kCrc32cTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t
+crc32c(const std::string &s)
+{
+    return crc32c(s.data(), s.size());
+}
+
+/** 8-hex-digit rendering (stable across platforms, like digestHex). */
+inline std::string
+crc32cHex(std::uint32_t v)
+{
+    char buf[9];
+    for (int i = 7; i >= 0; --i) {
+        buf[i] = "0123456789abcdef"[v & 0xF];
+        v >>= 4;
+    }
+    buf[8] = '\0';
+    return std::string(buf);
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_COMMON_CRC32C_HPP_

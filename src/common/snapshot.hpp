@@ -20,6 +20,12 @@
  *    diverge from what a cold run produces.
  *  - Readers check exact byte counts; a truncated or oversized file is
  *    an error, never a partial restore.
+ *  - Snapshot FILES additionally carry a little-endian CRC32C trailer
+ *    over everything before it (version 2). The trailer belongs to the
+ *    file layer: writeFile appends it, fromFile verifies and strips it,
+ *    in-memory reader/writer round trips never see it. Bit flips,
+ *    truncation and trailing garbage are all caught before a single
+ *    body byte is interpreted.
  */
 
 #ifndef ESPNUCA_COMMON_SNAPSHOT_HPP_
@@ -29,9 +35,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/crc32c.hpp"
 
 namespace espnuca {
 
@@ -39,14 +49,33 @@ namespace espnuca {
 class SnapshotError : public std::runtime_error
 {
   public:
-    explicit SnapshotError(const std::string &what)
-        : std::runtime_error("snapshot: " + what)
+    /** What exactly is wrong — callers branch on this (a checksum
+     *  mismatch is corruption; a version mismatch is a stale file). */
+    enum class Kind
+    {
+        Other,            //!< semantic errors (identity, layout, ...)
+        OpenFailed,       //!< file absent or unreadable
+        BadMagic,         //!< not a snapshot file at all
+        VersionMismatch,  //!< produced by another format revision
+        Truncated,        //!< fewer bytes than the body demands
+        TrailingBytes,    //!< more bytes than the body consumes
+        ChecksumMismatch, //!< CRC32C trailer disagrees with content
+    };
+
+    explicit SnapshotError(const std::string &what, Kind kind = Kind::Other)
+        : std::runtime_error("snapshot: " + what), kind_(kind)
     {
     }
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
 };
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E505345; // "ESPN"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: files carry a CRC32C content trailer (see header comment).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /** Identity a snapshot is bound to; all fields must match on restore. */
 struct SnapshotIdentity
@@ -138,28 +167,23 @@ class SnapshotWriter
     }
 
     /**
-     * Atomic write: tmp file + rename, so a killed sweep never leaves a
-     * half-written checkpoint for the resume pass to trip over.
-     * @return false (no throw) when the filesystem refuses.
+     * Durable atomic write: CRC32C trailer appended, tmp file + fsync +
+     * rename + directory fsync, every syscall checked — a killed or
+     * out-of-space sweep never leaves a half-written checkpoint for the
+     * resume pass to trip over, and a surviving file always verifies.
+     * @return false (no throw) when the filesystem refuses; `*error`
+     *         (when given) names the failing stage and errno.
      */
     bool
-    writeFile(const std::string &path) const
+    writeFile(const std::string &path, FileError *error = nullptr) const
     {
-        const std::string tmp = path + ".tmp";
-        {
-            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-            if (!out)
-                return false;
-            out.write(buf_.data(),
-                      static_cast<std::streamsize>(buf_.size()));
-            if (!out.good())
-                return false;
-        }
-        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-        return true;
+        std::string out = buf_;
+        const std::uint32_t crc = crc32c(out);
+        for (int i = 0; i < 4; ++i)
+            out.push_back(
+                static_cast<char>((crc >> (8 * i)) & 0xFF));
+        return writeFileAtomicChecked(path, out, /*durable=*/true,
+                                      error);
     }
 
   private:
@@ -172,15 +196,38 @@ class SnapshotReader
   public:
     explicit SnapshotReader(std::string data) : data_(std::move(data)) {}
 
-    /** Load a snapshot file whole; throws SnapshotError when absent. */
+    /**
+     * Load a snapshot file whole and verify its CRC32C trailer; the
+     * returned reader sees only the body. Throws SnapshotError naming
+     * the file when it is absent, too short to carry a trailer, or the
+     * stored and recomputed checksums disagree (bit flips, truncation,
+     * trailing garbage — anything that alters a byte).
+     */
     static SnapshotReader
     fromFile(const std::string &path)
     {
         std::ifstream in(path, std::ios::binary);
         if (!in)
-            throw SnapshotError("cannot open " + path);
+            throw SnapshotError("cannot open " + path,
+                                SnapshotError::Kind::OpenFailed);
         std::string data((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
+        if (data.size() < 4)
+            throw SnapshotError(path + ": too short for a checksum "
+                                       "trailer",
+                                SnapshotError::Kind::Truncated);
+        std::uint32_t stored = 0;
+        for (int i = 0; i < 4; ++i)
+            stored |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+                          data[data.size() - 4 + i]))
+                      << (8 * i);
+        data.resize(data.size() - 4);
+        const std::uint32_t actual = crc32c(data);
+        if (stored != actual)
+            throw SnapshotError(
+                path + ": checksum mismatch, expected " +
+                    crc32cHex(stored) + ", actual " + crc32cHex(actual),
+                SnapshotError::Kind::ChecksumMismatch);
         return SnapshotReader(std::move(data));
     }
 
@@ -237,12 +284,14 @@ class SnapshotReader
     header()
     {
         if (u32() != kSnapshotMagic)
-            throw SnapshotError("bad magic (not a snapshot file)");
+            throw SnapshotError("bad magic (not a snapshot file)",
+                                SnapshotError::Kind::BadMagic);
         const std::uint32_t v = u32();
         if (v != kSnapshotVersion) {
             throw SnapshotError("version mismatch: file " +
-                                std::to_string(v) + ", expected " +
-                                std::to_string(kSnapshotVersion));
+                                    std::to_string(v) + ", expected " +
+                                    std::to_string(kSnapshotVersion),
+                                SnapshotError::Kind::VersionMismatch);
         }
         SnapshotIdentity id;
         id.arch = str();
@@ -259,7 +308,8 @@ class SnapshotReader
     finish() const
     {
         if (pos_ != data_.size())
-            throw SnapshotError("trailing bytes after snapshot body");
+            throw SnapshotError("trailing bytes after snapshot body",
+                                SnapshotError::Kind::TrailingBytes);
     }
 
     std::size_t remaining() const { return data_.size() - pos_; }
@@ -269,7 +319,8 @@ class SnapshotReader
     need(std::uint64_t n) const
     {
         if (pos_ + n > data_.size())
-            throw SnapshotError("truncated snapshot");
+            throw SnapshotError("truncated snapshot",
+                                SnapshotError::Kind::Truncated);
     }
 
     std::string data_;

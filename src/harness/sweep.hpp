@@ -30,15 +30,47 @@
 #include <fstream>
 #include <iterator>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/atomic_file.hpp"
+#include "common/crc32c.hpp"
 #include "common/rng.hpp"
 #include "common/snapshot.hpp"
 #include "harness/report.hpp"
 
 namespace espnuca {
+
+/**
+ * A per-point result file that cannot be trusted: unreadable, not a
+ * point record at all, or failing its CRC32C content check. The sweep
+ * resume pass recomputes such points; espnuca-merge refuses them with
+ * a distinct exit code.
+ */
+class PointFileError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        OpenFailed,       //!< file absent or unreadable
+        NotARecord,       //!< malformed / truncated / wrong schema
+        ChecksumMismatch, //!< CRC32C disagrees with the content
+    };
+
+    PointFileError(const std::string &what, Kind kind)
+        : std::runtime_error("point file: " + what), kind_(kind)
+    {
+    }
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
 
 /** "i/N" shard designator: this process owns shard i of N. */
 struct ShardSpec
@@ -216,9 +248,17 @@ struct PointRecord
     std::string point;       //!< raw span (writePointJson object)
 };
 
-inline constexpr const char *kPointSchema = "espnuca-point-v1";
+// v2: records end with a "crc32c" content-checksum field (see
+// pointRecordJson). v1 files fail the schema check and are recomputed.
+inline constexpr const char *kPointSchema = "espnuca-point-v2";
 
-/** Serialize a point record (one results-directory file, sans '\n'). */
+/**
+ * Serialize a point record (one results-directory file, sans '\n').
+ * The final field is a CRC32C over the exact serialization of every
+ * preceding field (the record with the checksum field removed), so any
+ * altered byte — flipped, truncated, appended — is detectable without
+ * re-deriving a single result value.
+ */
 inline std::string
 pointRecordJson(const PointRecord &p)
 {
@@ -236,7 +276,42 @@ pointRecordJson(const PointRecord &p)
     w.key("config").raw(p.config);
     w.key("point").raw(p.point);
     w.endObject();
-    return w.str();
+    const std::string core = w.str();
+    return core.substr(0, core.size() - 1) + ",\"crc32c\":\"" +
+           crc32cHex(crc32c(core)) + "\"}";
+}
+
+/** The checksum suffix every v2 record ends with: ,"crc32c":"hhhhhhhh"} */
+inline constexpr std::size_t kPointCrcTagLen = 11;  // ,"crc32c":"
+inline constexpr std::size_t kPointCrcSuffixLen = 21; // tag + 8 hex + "}
+
+/**
+ * Validate a record's checksum field against its content. Throws a
+ * PointFileError naming `name` plus the expected/actual checksums; on
+ * success returns the record body (everything the checksum covers).
+ */
+inline std::string
+verifyPointChecksum(const std::string &doc, const std::string &name)
+{
+    std::string body = doc;
+    if (!body.empty() && body.back() == '\n')
+        body.pop_back();
+    if (body.size() < kPointCrcSuffixLen ||
+        body.compare(body.size() - kPointCrcSuffixLen, kPointCrcTagLen,
+                     ",\"crc32c\":\"") != 0 ||
+        body.compare(body.size() - 2, 2, "\"}") != 0)
+        throw PointFileError(name + ": missing or misplaced checksum "
+                                    "trailer",
+                             PointFileError::Kind::NotARecord);
+    const std::string stored = body.substr(body.size() - 10, 8);
+    const std::string core =
+        body.substr(0, body.size() - kPointCrcSuffixLen) + "}";
+    const std::string actual = crc32cHex(crc32c(core));
+    if (stored != actual)
+        throw PointFileError(name + ": checksum mismatch, expected " +
+                                 stored + ", actual " + actual,
+                             PointFileError::Kind::ChecksumMismatch);
+    return core;
 }
 
 /** Parse a results-directory file. @return false on any malformation
@@ -279,26 +354,288 @@ pointFilePath(const std::string &dir, std::uint64_t hash)
     return dir + "/" + digestHex(hash) + ".json";
 }
 
-/** Atomic write (tmp + rename): a killed sweep never leaves a torn
- *  point file for the resume pass to trip over. */
-inline bool
-writeFileAtomic(const std::string &path, const std::string &content)
+/**
+ * Load + verify one results-directory file: CRC32C first, then the
+ * structural parse. Throws PointFileError (typed, naming the file) on
+ * anything short of a fully valid record — the resume pass recomputes,
+ * the merge refuses with a checksum-specific exit code.
+ */
+inline PointRecord
+readPointFile(const std::string &path)
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out << content;
-        if (!out.good())
-            return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw PointFileError(path + ": cannot open",
+                             PointFileError::Kind::OpenFailed);
+    const std::string doc((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    const std::string body = verifyPointChecksum(doc, path);
+    PointRecord rec;
+    if (!parsePointRecord(body, rec))
+        throw PointFileError(path + ": not a point record",
+                             PointFileError::Kind::NotARecord);
+    return rec;
 }
+
+/** Durable atomic write of one point record (trailing newline added). */
+inline bool
+writePointFile(const std::string &path, const PointRecord &rec,
+               FileError *error = nullptr)
+{
+    return writeFileAtomicChecked(path, pointRecordJson(rec) + "\n",
+                                  /*durable=*/true, error);
+}
+
+/**
+ * Split a compact JSON array span ("[...]") into its top-level element
+ * spans. String-aware and brace-balanced like jsonSpan; scalars,
+ * objects and nested arrays all come back verbatim.
+ */
+inline std::vector<std::string>
+jsonArrayItems(const std::string &arr)
+{
+    std::vector<std::string> items;
+    if (arr.size() < 2 || arr.front() != '[')
+        return items;
+    std::size_t start = 1;
+    int depth = 0;
+    bool in_str = false;
+    bool esc = false;
+    for (std::size_t i = 1; i < arr.size(); ++i) {
+        const char c = arr[i];
+        if (in_str) {
+            if (esc)
+                esc = false;
+            else if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"') {
+            in_str = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            if (c == ']' && depth == 0) {
+                if (i > start)
+                    items.push_back(arr.substr(start, i - start));
+                break;
+            }
+            --depth;
+        } else if (c == ',' && depth == 0) {
+            items.push_back(arr.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return items;
+}
+
+/** Undo jsonQuote for the simple identifier strings the sweep formats
+ *  store (arch/workload names, states — never escaped content). */
+inline std::string
+jsonUnquote(const std::string &s)
+{
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Poison-point quarantine: the supervisor blacklists a point whose
+// worker died too often; the sweep engine skips blacklisted points and
+// espnuca-merge folds them into the merged document's "failures" array
+// instead of refusing the merge for an incomplete grid.
+// ---------------------------------------------------------------------
+
+inline constexpr const char *kQuarantineSchema = "espnuca-quarantine-v1";
+
+/** One blacklisted point, as recorded in DIR/quarantine.json. */
+struct QuarantineRecord
+{
+    std::uint64_t hash = 0;  //!< stable point hash (pointHash)
+    std::uint64_t index = 0; //!< declaration index in the grid
+    std::string arch;
+    std::string workload;
+    std::uint32_t deaths = 0; //!< organic worker deaths charged
+    std::string error;        //!< last failure description
+};
+
+inline std::string
+quarantinePath(const std::string &dir)
+{
+    return dir + "/quarantine.json";
+}
+
+inline std::string
+quarantineJson(const std::vector<QuarantineRecord> &records)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kQuarantineSchema);
+    w.key("points").beginArray();
+    for (const QuarantineRecord &q : records) {
+        w.beginObject();
+        w.field("point_hash", digestHex(q.hash));
+        w.field("index", q.index);
+        w.field("arch", q.arch);
+        w.field("workload", q.workload);
+        w.field("deaths", static_cast<std::uint64_t>(q.deaths));
+        w.field("error", q.error);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * Read DIR/quarantine.json. Absent file = empty list (the common
+ * case); a present but malformed file throws PointFileError — a
+ * half-written blacklist must never silently unblacklist a poison
+ * point.
+ */
+inline std::vector<QuarantineRecord>
+readQuarantine(const std::string &dir)
+{
+    const std::string path = quarantinePath(dir);
+    std::vector<QuarantineRecord> records;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return records;
+    const std::string doc((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    if (jsonSpan(doc, "schema") != jsonQuote(kQuarantineSchema))
+        throw PointFileError(path + ": not a quarantine file",
+                             PointFileError::Kind::NotARecord);
+    for (const std::string &item :
+         jsonArrayItems(jsonSpan(doc, "points"))) {
+        QuarantineRecord q;
+        const std::string hash = jsonSpan(item, "point_hash");
+        const std::string index = jsonSpan(item, "index");
+        if (hash.size() != 18 || hash.front() != '"' || index.empty())
+            throw PointFileError(path + ": malformed quarantine entry",
+                                 PointFileError::Kind::NotARecord);
+        q.hash = std::strtoull(hash.substr(1, 16).c_str(), nullptr, 16);
+        q.index = std::strtoull(index.c_str(), nullptr, 10);
+        q.arch = jsonUnquote(jsonSpan(item, "arch"));
+        q.workload = jsonUnquote(jsonSpan(item, "workload"));
+        q.deaths = static_cast<std::uint32_t>(
+            std::strtoul(jsonSpan(item, "deaths").c_str(), nullptr, 10));
+        q.error = jsonUnquote(jsonSpan(item, "error"));
+        records.push_back(std::move(q));
+    }
+    return records;
+}
+
+/** Durable atomic rewrite of the blacklist (supervisor side). */
+inline bool
+writeQuarantine(const std::string &dir,
+                const std::vector<QuarantineRecord> &records,
+                FileError *error = nullptr)
+{
+    return writeFileAtomicChecked(quarantinePath(dir),
+                                  quarantineJson(records) + "\n",
+                                  /*durable=*/true, error);
+}
+
+// ---------------------------------------------------------------------
+// Heartbeat protocol: a supervised worker rewrites one small JSON file
+// around every unit of work. The supervisor derives two facts from it:
+// liveness (the bytes changed recently) and attribution (which point
+// was in flight when the process died). Best-effort writes — a lost
+// heartbeat costs accuracy, never correctness.
+// ---------------------------------------------------------------------
+
+inline constexpr const char *kHeartbeatSchema = "espnuca-heartbeat-v1";
+
+/** Last-written worker state, as read back by the supervisor. */
+struct Heartbeat
+{
+    std::uint64_t pid = 0;
+    std::uint64_t seq = 0;      //!< monotonically increasing per write
+    std::string state;          //!< start | point-start | point-done |
+                                //!< shard-done | run-start | run-done
+    std::uint64_t pointHash = 0; //!< in-flight point (0 = none)
+    std::uint64_t index = 0;     //!< its declaration index
+    std::string arch;
+    std::string workload;
+    std::uint64_t done = 0;  //!< units completed so far
+    std::uint64_t total = 0; //!< units owned by this worker
+};
+
+inline std::string
+heartbeatJson(const Heartbeat &hb)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", kHeartbeatSchema);
+    w.field("pid", hb.pid);
+    w.field("seq", hb.seq);
+    w.field("state", hb.state);
+    w.field("point_hash", digestHex(hb.pointHash));
+    w.field("index", hb.index);
+    w.field("arch", hb.arch);
+    w.field("workload", hb.workload);
+    w.field("done", hb.done);
+    w.field("total", hb.total);
+    w.endObject();
+    return w.str();
+}
+
+/** @return false on any malformation (torn writes are expected: the
+ *  heartbeat writer deliberately skips fsync). */
+inline bool
+parseHeartbeat(const std::string &doc, Heartbeat &out)
+{
+    if (jsonSpan(doc, "schema") != jsonQuote(kHeartbeatSchema))
+        return false;
+    const std::string hash = jsonSpan(doc, "point_hash");
+    const std::string seq = jsonSpan(doc, "seq");
+    if (hash.size() != 18 || hash.front() != '"' || seq.empty())
+        return false;
+    out.pid = std::strtoull(jsonSpan(doc, "pid").c_str(), nullptr, 10);
+    out.seq = std::strtoull(seq.c_str(), nullptr, 10);
+    out.state = jsonUnquote(jsonSpan(doc, "state"));
+    out.pointHash = std::strtoull(hash.substr(1, 16).c_str(), nullptr, 16);
+    out.index = std::strtoull(jsonSpan(doc, "index").c_str(), nullptr, 10);
+    out.arch = jsonUnquote(jsonSpan(doc, "arch"));
+    out.workload = jsonUnquote(jsonSpan(doc, "workload"));
+    out.done = std::strtoull(jsonSpan(doc, "done").c_str(), nullptr, 10);
+    out.total = std::strtoull(jsonSpan(doc, "total").c_str(), nullptr, 10);
+    return !out.state.empty();
+}
+
+/** Atomic (tmp+rename, no fsync) heartbeat update; failures ignored —
+ *  heartbeats are advisory, the work itself must not stop. */
+inline void
+writeHeartbeat(const std::string &path, Heartbeat &hb)
+{
+    if (path.empty())
+        return;
+    ++hb.seq;
+    hb.pid = static_cast<std::uint64_t>(::getpid());
+    writeFileAtomicChecked(path, heartbeatJson(hb) + "\n",
+                           /*durable=*/false, nullptr);
+}
+
+/**
+ * espnuca-merge exit codes: stable and machine-readable so the
+ * supervisor and CI can branch on the failure cause (a checksum
+ * mismatch wants a recompute, a build mismatch wants a rebuild, an
+ * incomplete grid wants the missing shards re-run).
+ */
+enum MergeExit : int
+{
+    kMergeOk = 0,
+    kMergeUsage = 2,          //!< bad CLI invocation
+    kMergeIoError = 3,        //!< unreadable dir / unwritable output
+    kMergeBadRecord = 4,      //!< a file is not a valid point record
+    kMergeChecksum = 5,       //!< a point file failed its CRC32C check
+    kMergeBuildMismatch = 6,  //!< points from different binaries
+    kMergeGridMismatch = 7,   //!< mixed benches/configs or duplicates
+    kMergeIncomplete = 8,     //!< grid has unexcused missing points
+};
 
 /** Command-line surface of the sweep engine (shared by every bench). */
 struct SweepCli
@@ -307,6 +644,7 @@ struct SweepCli
     bool haveShard = false;
     ShardSpec shard;
     std::string resultsDir;
+    std::string heartbeatPath; //!< supervised workers write liveness here
 
     static SweepCli
     fromArgs(int argc, char **argv)
@@ -326,6 +664,10 @@ struct SweepCli
                 c.resultsDir = argv[++i];
             } else if (a.rfind("--results-dir=", 0) == 0) {
                 c.resultsDir = a.substr(14);
+            } else if (a == "--heartbeat" && i + 1 < argc) {
+                c.heartbeatPath = argv[++i];
+            } else if (a.rfind("--heartbeat=", 0) == 0) {
+                c.heartbeatPath = a.substr(12);
             }
         }
         return c;
@@ -403,6 +745,13 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
     std::error_code ec;
     std::filesystem::create_directories(cli.resultsDir, ec);
 
+    // Points the supervisor has blacklisted are not ours to retry: a
+    // deliberately-skipped point keeps a crashing worker from dying on
+    // it forever while the rest of the shard completes.
+    std::set<std::uint64_t> quarantined;
+    for (const QuarantineRecord &q : readQuarantine(cli.resultsDir))
+        quarantined.insert(q.hash);
+
     const std::string build = buildToJson(m.config());
     const std::string config = configToJson(m.config());
     const std::uint32_t jobs = m.config().resolveJobs();
@@ -410,33 +759,64 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
     if (jobs > 1)
         pool.emplace(jobs);
 
+    Heartbeat hb;
+    std::size_t mine = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (pointHash(bench, entries[i]) % count == index)
+            ++mine;
+    hb.total = mine;
+    hb.state = "start";
+    writeHeartbeat(cli.heartbeatPath, hb);
+
     std::size_t done = 0;
     std::size_t skipped = 0;
+    std::size_t poisoned = 0;
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto &e = entries[i];
         const std::uint64_t h = pointHash(bench, e);
         if (h % count != index)
             continue;
+        if (quarantined.count(h) != 0) {
+            std::printf("[sweep] skip  %s %s/%s (quarantined)\n",
+                        digestHex(h).c_str(), e.arch.c_str(),
+                        e.workload.c_str());
+            ++poisoned;
+            ++hb.done;
+            continue;
+        }
         const std::string path = pointFilePath(cli.resultsDir, h);
         if (std::filesystem::exists(path)) {
-            std::ifstream in(path, std::ios::binary);
-            std::string doc((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
-            PointRecord rec;
-            if (parsePointRecord(doc, rec) && rec.bench == bench &&
-                rec.hash == h && rec.index == i &&
-                rec.total == entries.size() && rec.build == build &&
-                rec.config == config) {
+            bool valid = false;
+            std::string why = "stale result";
+            try {
+                const PointRecord rec = readPointFile(path);
+                valid = rec.bench == bench && rec.hash == h &&
+                        rec.index == i && rec.total == entries.size() &&
+                        rec.build == build && rec.config == config;
+            } catch (const PointFileError &err) {
+                why = err.kind() ==
+                              PointFileError::Kind::ChecksumMismatch
+                          ? "checksum mismatch"
+                          : "unreadable result";
+            }
+            if (valid) {
                 std::printf("[sweep] skip  %s %s/%s (valid result)\n",
                             digestHex(h).c_str(), e.arch.c_str(),
                             e.workload.c_str());
                 ++skipped;
+                ++hb.done;
                 continue;
             }
-            std::printf("[sweep] redo  %s %s/%s (stale result)\n",
+            std::printf("[sweep] redo  %s %s/%s (%s)\n",
                         digestHex(h).c_str(), e.arch.c_str(),
-                        e.workload.c_str());
+                        e.workload.c_str(), why.c_str());
         }
+        hb.state = "point-start";
+        hb.pointHash = h;
+        hb.index = i;
+        hb.arch = e.arch;
+        hb.workload = e.workload;
+        writeHeartbeat(cli.heartbeatPath, hb);
         const DataPoint p = runPointParallel(
             e.cfg, e.arch, e.workload, pool ? &*pool : nullptr);
         PointRecord rec;
@@ -450,18 +830,25 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
         rec.build = build;
         rec.config = config;
         rec.point = pointToJson(p);
-        if (!writeFileAtomic(path, pointRecordJson(rec) + "\n")) {
-            std::fprintf(stderr, "[sweep] cannot write %s\n",
-                         path.c_str());
+        FileError ferr;
+        if (!writePointFile(path, rec, &ferr)) {
+            std::fprintf(stderr, "[sweep] %s\n",
+                         ferr.message().c_str());
             std::exit(1);
         }
+        ++done;
+        ++hb.done;
+        hb.state = "point-done";
+        writeHeartbeat(cli.heartbeatPath, hb);
         std::printf("[sweep] done  %s %s/%s\n", digestHex(h).c_str(),
                     e.arch.c_str(), e.workload.c_str());
-        ++done;
     }
+    hb.state = "shard-done";
+    hb.pointHash = 0;
+    writeHeartbeat(cli.heartbeatPath, hb);
     std::printf("[sweep] shard %u/%u: %zu computed, %zu resumed, "
-                "%zu point(s) total in grid\n",
-                index, count, done, skipped, entries.size());
+                "%zu quarantined, %zu point(s) total in grid\n",
+                index, count, done, skipped, poisoned, entries.size());
     return true;
 }
 

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Corruption injection against the persistent artifact formats: every
+ * way a snapshot or per-point file can rot on disk — bit flips,
+ * truncation, trailing garbage, short writes / ENOSPC mid-write —
+ * must surface as a typed error naming the file (and, for checksum
+ * failures, the expected/actual CRC32C), never as silent acceptance
+ * or a plausible-looking partial artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "common/atomic_file.hpp"
+#include "common/crc32c.hpp"
+#include "common/snapshot.hpp"
+#include "harness/sweep.hpp"
+
+namespace espnuca {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("espnuca_corrupt_" + name))
+        .string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+TEST(Crc32c, KnownAnswer)
+{
+    // The standard CRC32C check value.
+    EXPECT_EQ(crc32c(std::string("123456789")), 0xE3069283u);
+    EXPECT_EQ(crc32c(std::string()), 0x00000000u);
+    EXPECT_EQ(crc32cHex(0xE3069283u), "e3069283");
+    EXPECT_EQ(crc32cHex(0u), "00000000");
+}
+
+TEST(Crc32c, EveryByteMatters)
+{
+    std::string s = "the quick brown fox";
+    const std::uint32_t base = crc32c(s);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        std::string flipped = s;
+        flipped[i] ^= 0x01;
+        EXPECT_NE(crc32c(flipped), base) << "at byte " << i;
+    }
+}
+
+// ------------------------------------------------------------------
+// Snapshot files (CRC32C trailer, kSnapshotVersion 2)
+// ------------------------------------------------------------------
+
+class SnapshotCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tmpPath("snap.ckpt");
+        std::filesystem::remove(path_);
+        SnapshotWriter w;
+        w.u64(0xDEADBEEFULL);
+        w.u64(42);
+        w.str("payload");
+        ASSERT_TRUE(w.writeFile(path_));
+        bytes_ = slurp(path_);
+        // body + 4-byte trailer
+        ASSERT_EQ(bytes_.size(), w.bytes().size() + 4);
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    SnapshotError::Kind
+    loadKind()
+    {
+        try {
+            SnapshotReader::fromFile(path_);
+        } catch (const SnapshotError &e) {
+            what_ = e.what();
+            return e.kind();
+        }
+        return SnapshotError::Kind::Other;
+    }
+
+    std::string path_;
+    std::string bytes_;
+    std::string what_;
+};
+
+TEST_F(SnapshotCorruption, CleanFileRoundTrips)
+{
+    SnapshotReader r = SnapshotReader::fromFile(path_);
+    EXPECT_EQ(r.u64(), 0xDEADBEEFULL);
+    EXPECT_EQ(r.u64(), 42u);
+    EXPECT_EQ(r.str(), "payload");
+    EXPECT_NO_THROW(r.finish());
+}
+
+TEST_F(SnapshotCorruption, BitFlipInBodyIsDetected)
+{
+    for (const std::size_t at :
+         {std::size_t{0}, bytes_.size() / 2, bytes_.size() - 5}) {
+        std::string mutated = bytes_;
+        mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+        spit(path_, mutated);
+        EXPECT_EQ(loadKind(), SnapshotError::Kind::ChecksumMismatch)
+            << "flip at " << at;
+        EXPECT_NE(what_.find(path_), std::string::npos);
+        EXPECT_NE(what_.find("expected"), std::string::npos);
+    }
+}
+
+TEST_F(SnapshotCorruption, BitFlipInTrailerIsDetected)
+{
+    std::string mutated = bytes_;
+    mutated.back() = static_cast<char>(mutated.back() ^ 0x01);
+    spit(path_, mutated);
+    EXPECT_EQ(loadKind(), SnapshotError::Kind::ChecksumMismatch);
+}
+
+TEST_F(SnapshotCorruption, TruncationIsDetected)
+{
+    spit(path_, bytes_.substr(0, bytes_.size() - 3));
+    EXPECT_EQ(loadKind(), SnapshotError::Kind::ChecksumMismatch);
+
+    // Too short to even hold the trailer.
+    spit(path_, bytes_.substr(0, 3));
+    EXPECT_EQ(loadKind(), SnapshotError::Kind::Truncated);
+}
+
+TEST_F(SnapshotCorruption, TrailingGarbageIsDetected)
+{
+    spit(path_, bytes_ + "garbage");
+    EXPECT_EQ(loadKind(), SnapshotError::Kind::ChecksumMismatch);
+}
+
+TEST_F(SnapshotCorruption, MissingFileIsTyped)
+{
+    std::filesystem::remove(path_);
+    EXPECT_EQ(loadKind(), SnapshotError::Kind::OpenFailed);
+}
+
+// ------------------------------------------------------------------
+// Per-point result files ("crc32c" field, espnuca-point-v2)
+// ------------------------------------------------------------------
+
+PointRecord
+samplePoint()
+{
+    PointRecord rec;
+    rec.bench = "fig_test";
+    rec.hash = 0x0123456789ABCDEFULL;
+    rec.index = 3;
+    rec.total = 9;
+    rec.key = jsonQuote("esp-nuca/apache");
+    rec.arch = jsonQuote("esp-nuca");
+    rec.workload = jsonQuote("apache");
+    rec.build = "{\"version\":\"test\"}";
+    rec.config = "{\"jobs\":2}";
+    rec.point = "{\"throughput\":1.5}";
+    return rec;
+}
+
+class PointCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tmpPath("point.json");
+        std::filesystem::remove(path_);
+        ASSERT_TRUE(writePointFile(path_, samplePoint()));
+        bytes_ = slurp(path_);
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    PointFileError::Kind
+    loadKind()
+    {
+        try {
+            readPointFile(path_);
+        } catch (const PointFileError &e) {
+            what_ = e.what();
+            return e.kind();
+        }
+        ADD_FAILURE() << "corruption was accepted";
+        return PointFileError::Kind::OpenFailed;
+    }
+
+    std::string path_;
+    std::string bytes_;
+    std::string what_;
+};
+
+TEST_F(PointCorruption, CleanFileRoundTrips)
+{
+    const PointRecord rec = readPointFile(path_);
+    const PointRecord want = samplePoint();
+    EXPECT_EQ(rec.bench, want.bench);
+    EXPECT_EQ(rec.hash, want.hash);
+    EXPECT_EQ(rec.index, want.index);
+    EXPECT_EQ(rec.total, want.total);
+    EXPECT_EQ(rec.point, want.point);
+    // Rewriting the same record must produce the same bytes — resume
+    // and recompute converge on one canonical serialization.
+    ASSERT_TRUE(writePointFile(path_, rec));
+    EXPECT_EQ(slurp(path_), bytes_);
+}
+
+TEST_F(PointCorruption, BitFlipIsChecksumMismatch)
+{
+    // Flip a byte inside a value (not the structural suffix): the
+    // record still parses but the checksum must refuse it.
+    const std::size_t at = bytes_.find("1.5");
+    ASSERT_NE(at, std::string::npos);
+    std::string mutated = bytes_;
+    mutated[at] = '9';
+    spit(path_, mutated);
+    EXPECT_EQ(loadKind(), PointFileError::Kind::ChecksumMismatch);
+    EXPECT_NE(what_.find(path_), std::string::npos);
+    EXPECT_NE(what_.find("expected"), std::string::npos);
+    EXPECT_NE(what_.find("actual"), std::string::npos);
+}
+
+TEST_F(PointCorruption, TruncationIsRejected)
+{
+    spit(path_, bytes_.substr(0, bytes_.size() / 2));
+    EXPECT_EQ(loadKind(), PointFileError::Kind::NotARecord);
+}
+
+TEST_F(PointCorruption, TrailingGarbageIsRejected)
+{
+    spit(path_, bytes_ + "{\"extra\":1}");
+    EXPECT_EQ(loadKind(), PointFileError::Kind::NotARecord);
+}
+
+TEST_F(PointCorruption, ChecksumFieldTamperIsRejected)
+{
+    // Alter the stored checksum itself.
+    const std::size_t tag = bytes_.find("\"crc32c\":\"");
+    ASSERT_NE(tag, std::string::npos);
+    std::string mutated = bytes_;
+    const std::size_t digit = tag + 10;
+    mutated[digit] = mutated[digit] == '0' ? '1' : '0';
+    spit(path_, mutated);
+    EXPECT_EQ(loadKind(), PointFileError::Kind::ChecksumMismatch);
+}
+
+TEST_F(PointCorruption, V1RecordWithoutChecksumIsRecomputed)
+{
+    // A pre-v2 file has no crc32c suffix: typed as NotARecord, which
+    // the sweep resume path treats as "recompute", never "skip".
+    const std::size_t tag = bytes_.find(",\"crc32c\":");
+    ASSERT_NE(tag, std::string::npos);
+    spit(path_, bytes_.substr(0, tag) + "}\n");
+    EXPECT_EQ(loadKind(), PointFileError::Kind::NotARecord);
+}
+
+TEST_F(PointCorruption, MissingFileIsTyped)
+{
+    std::filesystem::remove(path_);
+    EXPECT_EQ(loadKind(), PointFileError::Kind::OpenFailed);
+}
+
+// ------------------------------------------------------------------
+// Short writes / ENOSPC in the atomic writers
+// ------------------------------------------------------------------
+
+long
+enospcHook(int /*fd*/, const void * /*buf*/, std::size_t /*n*/)
+{
+    errno = ENOSPC;
+    return -1;
+}
+
+long
+shortThenFailHook(int fd, const void *buf, std::size_t n)
+{
+    static thread_local bool first = true;
+    if (first && n > 4) {
+        first = false;
+        return ::write(fd, buf, 4); // short write, then the disk fills
+    }
+    errno = ENOSPC;
+    return -1;
+}
+
+class AtomicWriteFailure : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tmpPath("atomic.json");
+        std::filesystem::remove(path_);
+        std::filesystem::remove(path_ + ".tmp");
+    }
+
+    void
+    TearDown() override
+    {
+        detail::g_atomic_write_hook = nullptr;
+        std::filesystem::remove(path_);
+        std::filesystem::remove(path_ + ".tmp");
+    }
+
+    std::string path_;
+};
+
+TEST_F(AtomicWriteFailure, EnospcIsStructuredAndLeavesNothing)
+{
+    detail::g_atomic_write_hook = &enospcHook;
+    FileError err;
+    EXPECT_FALSE(writeFileAtomicChecked(path_, "content", true, &err));
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.stage, "write");
+    EXPECT_EQ(err.err, ENOSPC);
+    EXPECT_NE(err.message().find(path_), std::string::npos);
+    // No plausible partial file, no leftover tmp.
+    EXPECT_FALSE(std::filesystem::exists(path_));
+    EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicWriteFailure, ShortWriteThenFailureKeepsOldContent)
+{
+    ASSERT_TRUE(writeFileAtomicChecked(path_, "old content\n", true));
+    detail::g_atomic_write_hook = &shortThenFailHook;
+    FileError err;
+    EXPECT_FALSE(writeFileAtomicChecked(
+        path_, "replacement that never lands\n", true, &err));
+    detail::g_atomic_write_hook = nullptr;
+    EXPECT_EQ(err.stage, "write");
+    // The target still holds the previous, complete artifact.
+    EXPECT_EQ(slurp(path_), "old content\n");
+    EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicWriteFailure, SnapshotWriteFailureIsReported)
+{
+    detail::g_atomic_write_hook = &enospcHook;
+    SnapshotWriter w;
+    w.u64(7);
+    FileError err;
+    EXPECT_FALSE(w.writeFile(path_, &err));
+    EXPECT_EQ(err.stage, "write");
+    EXPECT_EQ(err.err, ENOSPC);
+    EXPECT_FALSE(std::filesystem::exists(path_));
+}
+
+TEST_F(AtomicWriteFailure, PointWriteFailureIsReported)
+{
+    detail::g_atomic_write_hook = &enospcHook;
+    FileError err;
+    EXPECT_FALSE(writePointFile(path_, samplePoint(), &err));
+    EXPECT_EQ(err.stage, "write");
+    EXPECT_FALSE(std::filesystem::exists(path_));
+}
+
+TEST_F(AtomicWriteFailure, ZeroByteWriteIsShortWrite)
+{
+    detail::g_atomic_write_hook =
+        [](int, const void *, std::size_t) -> long { return 0; };
+    FileError err;
+    EXPECT_FALSE(writeFileAtomicChecked(path_, "x", true, &err));
+    EXPECT_EQ(err.stage, "write");
+    EXPECT_EQ(err.err, ENOSPC);
+}
+
+} // namespace
+} // namespace espnuca

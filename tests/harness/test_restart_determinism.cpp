@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Restart determinism: the supervisor's whole value rests on the claim
+ * that killing a worker any number of times and restarting it changes
+ * no result byte. These tests simulate the restart sequence in-process
+ * — attempt 0 runs cold and checkpoints the warmup boundary, every
+ * later attempt restores from that file (exactly what a respawned
+ * worker does) — and require the results, the full stats dump, and
+ * the serialized point JSON to be byte-identical across k restarts,
+ * for all five arch models and under a dead-way fault plan. A
+ * corrupted checkpoint mid-sequence (the crash-during-write case) must
+ * degrade to a cold recompute that still reproduces attempt 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/snapshot.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/report.hpp"
+#include "harness/system.hpp"
+
+namespace espnuca {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("espnuca_restart_" + name + "_" +
+             std::to_string(::getpid()) + ".ckpt"))
+        .string();
+}
+
+struct Attempt
+{
+    std::string json;  //!< runToJson of the result
+    std::string stats; //!< full per-component stats dump
+    bool restored = false;
+};
+
+Attempt
+attempt(const std::string &arch, const std::string &workload,
+        const std::string &fault, const std::string &path)
+{
+    SystemConfig cfg;
+    std::optional<FaultPlan> plan;
+    if (!fault.empty())
+        plan = FaultPlan::parse(fault);
+    Attempt a;
+    const RunResult res = simulatePhased(
+        cfg, arch, workload, /*ops=*/12'000, /*seed=*/7,
+        /*warmup=*/0.5, plan ? &*plan : nullptr, path, &a.restored,
+        &a.stats);
+    a.json = runToJson(res);
+    return a;
+}
+
+class RestartDeterminism : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RestartDeterminism, KKillsReproduceAttemptZero)
+{
+    const std::string arch = GetParam();
+    const std::string path = tmpPath(arch);
+    std::filesystem::remove(path);
+
+    // Attempt 0: the uninterrupted run (cold, writes the checkpoint).
+    const Attempt first = attempt(arch, "apache", "", path);
+    EXPECT_FALSE(first.restored);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // k = 3 kill/restart cycles: each respawned worker restores the
+    // warmup boundary and recomputes the tail.
+    for (int k = 0; k < 3; ++k) {
+        const Attempt again = attempt(arch, "apache", "", path);
+        EXPECT_TRUE(again.restored) << "restart " << k;
+        EXPECT_EQ(first.json, again.json) << "restart " << k;
+        EXPECT_EQ(first.stats, again.stats) << "restart " << k;
+    }
+    std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchModels, RestartDeterminism,
+                         ::testing::Values("shared", "private",
+                                           "sp-nuca", "esp-nuca",
+                                           "d-nuca"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(RestartDeterminismFault, DeadWayPlanSurvivesRestarts)
+{
+    const std::string path = tmpPath("deadways");
+    std::filesystem::remove(path);
+    const std::string fault = "ways=*:0x3"; // two dead ways, every bank
+
+    const Attempt first = attempt("esp-nuca", "oltp", fault, path);
+    EXPECT_FALSE(first.restored);
+    for (int k = 0; k < 2; ++k) {
+        const Attempt again = attempt("esp-nuca", "oltp", fault, path);
+        EXPECT_TRUE(again.restored);
+        EXPECT_EQ(first.json, again.json);
+        EXPECT_EQ(first.stats, again.stats);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(RestartDeterminismCorruption, KillDuringCheckpointWriteRecovers)
+{
+    // A worker killed mid-checkpoint cannot leave a partial file (the
+    // write is atomic), but a torn rename or bit rot can leave a
+    // corrupt one. The restarted attempt must detect it (CRC32C),
+    // recompute cold, rewrite the checkpoint, and still reproduce
+    // attempt 0 — and the repaired file must restore again.
+    const std::string path = tmpPath("corrupt");
+    std::filesystem::remove(path);
+
+    const Attempt first = attempt("esp-nuca", "apache", "", path);
+    EXPECT_FALSE(first.restored);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Flip one byte in the middle of the checkpoint.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    EXPECT_THROW(SnapshotReader::fromFile(path), SnapshotError);
+
+    const Attempt recompute = attempt("esp-nuca", "apache", "", path);
+    EXPECT_FALSE(recompute.restored); // corruption detected, ran cold
+    EXPECT_EQ(first.json, recompute.json);
+    EXPECT_EQ(first.stats, recompute.stats);
+
+    const Attempt restored = attempt("esp-nuca", "apache", "", path);
+    EXPECT_TRUE(restored.restored); // the rewrite healed the file
+    EXPECT_EQ(first.json, restored.json);
+    std::filesystem::remove(path);
+}
+
+TEST(RestartDeterminismCorruption, TruncatedCheckpointRecovers)
+{
+    const std::string path = tmpPath("truncated");
+    std::filesystem::remove(path);
+
+    const Attempt first = attempt("shared", "apache", "", path);
+    EXPECT_FALSE(first.restored);
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() / 3);
+    }
+    const Attempt recompute = attempt("shared", "apache", "", path);
+    EXPECT_FALSE(recompute.restored);
+    EXPECT_EQ(first.json, recompute.json);
+    EXPECT_EQ(first.stats, recompute.stats);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace espnuca

@@ -4,26 +4,35 @@
  * into one bench JSON document.
  *
  *   espnuca-merge --results-dir DIR --out FILE [--bench NAME]
+ *                 [--json-errors]
  *
  * Point files store the exact serialized spans of the unsharded bench
  * document (build, config, each point), so the merge never re-derives
- * a byte: it validates that every shard came from the same grid and
- * the same build, orders the points by their declaration index, and
- * re-frames the stored spans verbatim. The output is byte-identical
- * to the `--json` file an unsharded run of the same bench writes.
+ * a byte: it verifies every file's CRC32C, validates that every shard
+ * came from the same grid and the same build, orders the points by
+ * their declaration index, and re-frames the stored spans verbatim.
+ * The output is byte-identical to the `--json` file an unsharded run
+ * of the same bench writes — and it is written with the same durable
+ * atomic tmp+rename discipline as the point files themselves.
  *
- * Refusals (exit 1): mixed benches, mismatched build/config spans
- * (different binaries or result-affecting knobs), duplicate indices,
- * or an incomplete grid (a shard is still missing — the message lists
- * which indices).
+ * Points blacklisted in DIR/quarantine.json (espnuca-swarm's poison-
+ * point record) are excused from the completeness check and folded
+ * into a top-level `failures` array instead of refusing the merge;
+ * the array is present only when non-empty, so clean sweeps keep
+ * byte-identity with the unsharded document.
+ *
+ * Exit codes are machine-readable (MergeExit in sweep.hpp): 0 ok,
+ * 2 usage, 3 I/O, 4 malformed record, 5 checksum mismatch, 6 build
+ * mismatch, 7 grid mismatch/duplicate, 8 incomplete grid. With
+ * --json-errors the failure cause is also reported as JSON on stdout
+ * so the supervisor and CI can branch without parsing prose.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <iterator>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,16 +42,75 @@ using namespace espnuca;
 
 namespace {
 
+bool g_json_errors = false;
+
 [[noreturn]] void
 usage(int code)
 {
     std::printf(
         "usage: espnuca-merge --results-dir DIR --out FILE "
-        "[--bench NAME]\n"
+        "[--bench NAME] [--json-errors]\n"
         "  --results-dir DIR  per-point files of a sharded sweep\n"
         "  --out FILE         merged bench JSON document to write\n"
-        "  --bench NAME       refuse points from any other bench\n");
+        "  --bench NAME       refuse points from any other bench\n"
+        "  --json-errors      report failures as JSON on stdout\n"
+        "exit codes: 0 ok, 2 usage, 3 io, 4 bad record, 5 checksum,\n"
+        "            6 build mismatch, 7 grid mismatch, 8 incomplete\n");
     std::exit(code);
+}
+
+const char *
+causeName(int code)
+{
+    switch (code) {
+    case kMergeIoError: return "io-error";
+    case kMergeBadRecord: return "bad-record";
+    case kMergeChecksum: return "checksum-mismatch";
+    case kMergeBuildMismatch: return "build-mismatch";
+    case kMergeGridMismatch: return "grid-mismatch";
+    case kMergeIncomplete: return "incomplete-grid";
+    default: return "usage";
+    }
+}
+
+/** Report one failure (prose on stderr, JSON on stdout when asked)
+ *  and exit with its machine-readable code. */
+[[noreturn]] void
+fail(int code, const std::string &file, const std::string &message)
+{
+    std::fprintf(stderr, "%s%s%s\n", file.c_str(),
+                 file.empty() ? "" : ": ", message.c_str());
+    if (g_json_errors) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("schema", "espnuca-merge-errors-v1");
+        w.field("exit", static_cast<std::uint64_t>(code));
+        w.field("cause", causeName(code));
+        w.key("errors").beginArray();
+        w.beginObject();
+        if (!file.empty())
+            w.field("file", file);
+        w.field("error", message);
+        w.endObject();
+        w.endArray();
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+    }
+    std::exit(code);
+}
+
+/** Results-dir entries that are not point records: the supervisor's
+ *  quarantine + heartbeat files live alongside them. Point files are
+ *  named <16 hex digits>.json and nothing else. */
+bool
+isPointFileName(const std::string &stem)
+{
+    if (stem.size() != 16)
+        return false;
+    for (const char c : stem)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
 }
 
 } // namespace
@@ -69,21 +137,27 @@ main(int argc, char **argv)
             bench = argv[++i];
         } else if (a.rfind("--bench=", 0) == 0) {
             bench = a.substr(8);
+        } else if (a == "--json-errors") {
+            g_json_errors = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-            usage(2);
+            usage(kMergeUsage);
         }
     }
     if (dir.empty() || out.empty())
-        usage(2);
+        usage(kMergeUsage);
+
+    std::vector<QuarantineRecord> quarantined;
+    try {
+        quarantined = readQuarantine(dir);
+    } catch (const PointFileError &e) {
+        fail(kMergeBadRecord, quarantinePath(dir), e.what());
+    }
 
     std::error_code ec;
     std::filesystem::directory_iterator it(dir, ec);
-    if (ec) {
-        std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
-                     ec.message().c_str());
-        return 1;
-    }
+    if (ec)
+        fail(kMergeIoError, dir, "cannot read: " + ec.message());
 
     std::map<std::uint64_t, PointRecord> byIndex;
     std::string build;
@@ -92,79 +166,81 @@ main(int argc, char **argv)
     std::size_t files = 0;
     for (const auto &entry : it) {
         const std::string path = entry.path().string();
-        if (entry.path().extension() != ".json")
+        if (entry.path().extension() != ".json" ||
+            !isPointFileName(entry.path().stem().string()))
             continue;
-        std::ifstream in(path, std::ios::binary);
-        std::string doc((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
         PointRecord rec;
-        if (!parsePointRecord(doc, rec)) {
-            std::fprintf(stderr, "%s: not a point record\n",
-                         path.c_str());
-            return 1;
+        try {
+            rec = readPointFile(path);
+        } catch (const PointFileError &e) {
+            switch (e.kind()) {
+            case PointFileError::Kind::OpenFailed:
+                fail(kMergeIoError, path, e.what());
+            case PointFileError::Kind::ChecksumMismatch:
+                fail(kMergeChecksum, path, e.what());
+            default:
+                fail(kMergeBadRecord, path, e.what());
+            }
         }
         ++files;
         if (bench.empty())
             bench = rec.bench;
-        if (rec.bench != bench) {
-            std::fprintf(stderr,
-                         "%s: bench \"%s\" does not match \"%s\"\n",
-                         path.c_str(), rec.bench.c_str(),
-                         bench.c_str());
-            return 1;
-        }
+        if (rec.bench != bench)
+            fail(kMergeGridMismatch, path,
+                 "bench \"" + rec.bench + "\" does not match \"" +
+                     bench + "\"");
         if (build.empty()) {
             build = rec.build;
             config = rec.config;
             total = rec.total;
         }
-        if (rec.build != build) {
-            std::fprintf(stderr,
-                         "%s: produced by a different build — refusing "
-                         "to merge\n  have: %s\n  file: %s\n",
-                         path.c_str(), build.c_str(),
-                         rec.build.c_str());
-            return 1;
-        }
-        if (rec.config != config || rec.total != total) {
-            std::fprintf(stderr,
-                         "%s: produced from a different grid — "
-                         "refusing to merge\n",
-                         path.c_str());
-            return 1;
-        }
+        if (rec.build != build)
+            fail(kMergeBuildMismatch, path,
+                 "produced by a different build — refusing to merge"
+                 "\n  have: " +
+                     build + "\n  file: " + rec.build);
+        if (rec.config != config || rec.total != total)
+            fail(kMergeGridMismatch, path,
+                 "produced from a different grid — refusing to merge");
         const std::uint64_t idx = rec.index;
-        if (!byIndex.emplace(idx, std::move(rec)).second) {
-            std::fprintf(stderr, "%s: duplicate point index %llu\n",
-                         path.c_str(),
-                         static_cast<unsigned long long>(idx));
-            return 1;
-        }
+        if (!byIndex.emplace(idx, std::move(rec)).second)
+            fail(kMergeGridMismatch, path,
+                 "duplicate point index " + std::to_string(idx));
     }
 
-    if (files == 0) {
-        std::fprintf(stderr, "%s: no point files\n", dir.c_str());
-        return 1;
-    }
-    if (byIndex.size() != total ||
-        byIndex.rbegin()->first != total - 1) {
-        std::fprintf(stderr,
-                     "incomplete grid: %zu of %llu point(s); missing:",
-                     byIndex.size(),
-                     static_cast<unsigned long long>(total));
-        std::size_t shown = 0;
-        for (std::uint64_t i = 0; i < total && shown < 16; ++i)
-            if (byIndex.count(i) == 0) {
-                std::fprintf(stderr, " %llu",
-                             static_cast<unsigned long long>(i));
-                ++shown;
-            }
-        std::fprintf(stderr, "\n");
-        return 1;
+    if (files == 0)
+        fail(kMergeIncomplete, dir, "no point files");
+
+    // Quarantined points are excused from completeness — they become
+    // entries in the `failures` array instead. A quarantine record for
+    // an index that does have a valid point file is stale (the point
+    // completed on a later attempt) and is dropped.
+    std::map<std::uint64_t, const QuarantineRecord *> excused;
+    for (const QuarantineRecord &q : quarantined)
+        if (byIndex.count(q.index) == 0)
+            excused.emplace(q.index, &q);
+
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t i = 0; i < total; ++i)
+        if (byIndex.count(i) == 0 && excused.count(i) == 0)
+            missing.push_back(i);
+    if (!missing.empty() || byIndex.size() + excused.size() != total) {
+        std::string msg = "incomplete grid: " +
+                          std::to_string(byIndex.size()) + " of " +
+                          std::to_string(total) + " point(s)";
+        if (!excused.empty())
+            msg += " (" + std::to_string(excused.size()) +
+                   " quarantined)";
+        msg += "; missing:";
+        for (std::size_t k = 0; k < missing.size() && k < 16; ++k)
+            msg += " " + std::to_string(missing[k]);
+        fail(kMergeIncomplete, dir, msg);
     }
 
     // Same frame writeBenchJson emits, with every value re-framed from
-    // the stored spans — never re-serialized.
+    // the stored spans — never re-serialized. The `failures` array is
+    // appended only when quarantined points exist, so clean merges stay
+    // byte-identical to the unsharded document.
     JsonWriter w;
     w.beginObject();
     w.field("bench", bench);
@@ -174,20 +250,31 @@ main(int argc, char **argv)
     for (const auto &[idx, rec] : byIndex)
         w.raw(rec.point);
     w.endArray();
+    if (!excused.empty()) {
+        w.key("failures").beginArray();
+        for (const auto &[idx, q] : excused) {
+            w.beginObject();
+            w.field("index", idx);
+            w.field("point_hash", digestHex(q->hash));
+            w.field("arch", q->arch);
+            w.field("workload", q->workload);
+            w.field("deaths", static_cast<std::uint64_t>(q->deaths));
+            w.field("error", q->error);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
 
-    std::ofstream os(out, std::ios::binary | std::ios::trunc);
-    if (!os) {
-        std::fprintf(stderr, "cannot open %s\n", out.c_str());
-        return 1;
-    }
-    os << w.str() << '\n';
-    if (!os.good()) {
-        std::fprintf(stderr, "write to %s failed\n", out.c_str());
-        return 1;
-    }
-    std::printf("merged %llu point(s) of %s into %s\n",
-                static_cast<unsigned long long>(total), bench.c_str(),
-                out.c_str());
-    return 0;
+    FileError ferr;
+    if (!writeFileAtomicChecked(out, w.str() + "\n", /*durable=*/true,
+                                &ferr))
+        fail(kMergeIoError, out, ferr.message());
+    std::printf("merged %zu point(s) of %s into %s", byIndex.size(),
+                bench.c_str(), out.c_str());
+    if (!excused.empty())
+        std::printf(" (%zu quarantined failure(s) recorded)",
+                    excused.size());
+    std::printf("\n");
+    return kMergeOk;
 }

@@ -71,6 +71,7 @@ struct Options
     bool listPoints = false;   //!< print run identities, no simulation
     bool haveShard = false;
     ShardSpec shard;           //!< own only runs hashing into this shard
+    std::string heartbeatPath; //!< supervised liveness file ("" = none)
     std::string traceOut;      //!< Perfetto trace path ("" = untraced)
     std::uint8_t traceMask = obs::kCatAll;
     Cycle metricsInterval = 0; //!< 0 = no epoch telemetry
@@ -107,6 +108,9 @@ usage(int code)
         "                       stable hash lands in shard i of N\n"
         "  --list-points        print every run's point hash, shard\n"
         "                       owner and identity; simulate nothing\n"
+        "  --heartbeat FILE     rewrite FILE around every run so a\n"
+        "                       supervisor (espnuca-swarm) can detect\n"
+        "                       stalls and attribute crashes\n"
         "  --trace-out FILE     write a Chrome/Perfetto trace of run 0\n"
         "  --trace-filter W     trace categories: all | tx | bank | core\n"
         "  --metrics-interval N sample epoch telemetry every N cycles\n"
@@ -207,6 +211,8 @@ parse(int argc, char **argv)
             }
         } else if (a == "--list-points") {
             o.listPoints = true;
+        } else if (a == "--heartbeat") {
+            o.heartbeatPath = next();
         } else if (a == "--trace-out") {
             o.traceOut = next();
         } else if (a == "--trace-filter") {
@@ -480,12 +486,26 @@ main(int argc, char **argv)
                 [&o, r, planPtr]() { return attemptCli(o, r, planPtr); }));
     }
 
+    Heartbeat hb;
+    hb.total = selected.size();
+    hb.arch = o.arch;
+    hb.workload = o.workload;
+    hb.state = "start";
+    writeHeartbeat(o.heartbeatPath, hb);
+
     RunningStats thr;
     std::uint32_t failed = 0;
     for (std::size_t k = 0; k < selected.size(); ++k) {
         const std::uint32_t r = selected[k];
+        hb.state = "run-start";
+        hb.pointHash = runHash(o, r);
+        hb.index = r;
+        writeHeartbeat(o.heartbeatPath, hb);
         const RunOutcome out =
             parallel ? futs[k].get() : attemptCli(o, r, planPtr);
+        ++hb.done;
+        hb.state = "run-done";
+        writeHeartbeat(o.heartbeatPath, hb);
         if (!out.result) {
             ++failed;
             const RunFailure &f = out.failure;
@@ -519,6 +539,9 @@ main(int argc, char **argv)
                             res.offChipAccesses));
         }
     }
+    hb.state = "shard-done";
+    hb.pointHash = 0;
+    writeHeartbeat(o.heartbeatPath, hb);
     StatsRegistry profReg;
     if (o.prof)
         obs::ProfRegistry::instance().collect(profReg);

@@ -90,6 +90,27 @@ class L2Org
     CacheBank &bank(BankId b) { return *banks_.at(b); }
     const CacheBank &bank(BankId b) const { return *banks_.at(b); }
 
+    /**
+     * Register per-bank statistics under bank.* (unified naming,
+     * DESIGN.md 5.13). Names are frozen — stats dumps are
+     * byte-compared across refactors.
+     */
+    void
+    registerStats(StatsRegistry &reg) const
+    {
+        const StatsScope banks(reg, "bank");
+        for (BankId b = 0; b < numBanks(); ++b) {
+            const CacheBank &bk = bank(b);
+            const StatsScope s = banks.sub(std::to_string(b));
+            s.counter("accesses").inc(bk.accesses());
+            s.counter("demand").inc(bk.demandAccesses());
+            s.counter("demand_hits").inc(bk.demandHits());
+            s.counter("evictions").inc(bk.evictions());
+            if (bk.monitor())
+                s.counter("nmax").inc(bk.monitor()->nmax());
+        }
+    }
+
     const AddressMap &map() const { return map_; }
     AddressMap &map() { return map_; } //!< fault injection installs remaps
 

@@ -51,6 +51,7 @@
 #include "net/mesh.hpp"
 #include "obs/trace_buffer.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/stats_registry.hpp"
 
 namespace espnuca {
 
@@ -314,6 +315,44 @@ class Protocol
 
     /** Allocated MSHRs (epoch telemetry). */
     std::size_t mshrCount() const { return mshrs_.size(); }
+
+    /**
+     * Register this component's statistics under the unified naming
+     * scheme (DESIGN.md 5.13): proto.* protocol counters, level.* the
+     * per-service-level access decomposition, mc.* the memory
+     * controllers it owns. System::collectStats is the single caller;
+     * the names are frozen — stats dumps are byte-compared across
+     * refactors.
+     */
+    void
+    registerStats(StatsRegistry &reg) const
+    {
+        reg.counter("proto.accesses").inc(accesses_);
+        reg.counter("proto.l1_hits").inc(l1Hits_);
+        reg.counter("proto.transactions").inc(transactions_);
+        reg.counter("proto.offchip_fetches").inc(offChipFetches_);
+        reg.counter("proto.writebacks").inc(writebacks_);
+        reg.counter("proto.invals_sent").inc(invalsSent_);
+        reg.counter("proto.privatizations").inc(privatizations_);
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(ServiceLevel::kNumLevels);
+             ++i) {
+            const auto &ls = levels_[i];
+            const StatsScope level = StatsScope(reg, "level")
+                .sub(toString(static_cast<ServiceLevel>(i)));
+            level.counter("count").inc(ls.count);
+            level.counter("cycles").inc(ls.totalLatency);
+        }
+        reg.counter("proto.completions").inc(completions_);
+        reg.counter("proto.dropped_completions")
+            .inc(droppedCompletions_);
+        const StatsScope mc(reg, "mc");
+        for (std::size_t m = 0; m < mcs_.size(); ++m) {
+            const StatsScope ctrl = mc.sub(std::to_string(m));
+            ctrl.counter("accesses").inc(mcs_[m].accesses());
+            ctrl.counter("queue_wait").inc(mcs_[m].queueWait());
+        }
+    }
 
     // -- Observability ---------------------------------------------------
 

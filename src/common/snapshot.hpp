@@ -75,7 +75,10 @@ class SnapshotError : public std::runtime_error
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E505345; // "ESPN"
 // v2: files carry a CRC32C content trailer (see header comment).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+// v3: body ends with a metrics-sampler section (presence flag +
+//     captured warmup timeseries), so restored runs merge a complete
+//     series across the fast-forward boundary.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /** Identity a snapshot is bound to; all fields must match on restore. */
 struct SnapshotIdentity

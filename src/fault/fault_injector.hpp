@@ -28,6 +28,20 @@ struct InjectionReport
     std::uint32_t deadBanks = 0;
     std::uint32_t disabledWays = 0; //!< way*bank products disabled
     std::uint32_t degradedLinks = 0;
+
+    /**
+     * Register what was injected under fault.* (unified naming,
+     * DESIGN.md 5.13). Names are frozen — stats dumps are
+     * byte-compared across refactors.
+     */
+    void
+    registerStats(StatsRegistry &reg) const
+    {
+        const StatsScope fault(reg, "fault");
+        fault.counter("dead_banks").inc(deadBanks);
+        fault.counter("disabled_ways").inc(disabledWays);
+        fault.counter("degraded_links").inc(degradedLinks);
+    }
 };
 
 /**

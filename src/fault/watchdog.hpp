@@ -30,6 +30,7 @@
 
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/stats_registry.hpp"
 
 namespace espnuca {
 
@@ -129,6 +130,19 @@ class Watchdog
     }
 
     std::uint64_t checksRun() const { return checks_; }
+
+    /**
+     * Register under watchdog.* — part of the *extended* collection
+     * only (JSON stats / counter tracks), never of the frozen
+     * byte-compared text dump.
+     */
+    void
+    registerStats(StatsRegistry &reg) const
+    {
+        const StatsScope wd(reg, "watchdog");
+        wd.counter("checks").inc(checks_);
+        wd.gauge("armed").set(armed_ ? 1.0 : 0.0);
+    }
 
   private:
     void

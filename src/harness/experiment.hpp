@@ -33,6 +33,7 @@
 #include "common/snapshot.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "harness/ledger.hpp"
 #include "harness/system.hpp"
 #include "obs/profiler.hpp"
 #include "stats/running_stats.hpp"
@@ -282,9 +283,17 @@ attemptRun(const ExperimentConfig &cfg, const std::string &arch,
                     checkpointPath(cfg, arch, workload, seed));
             }
             return out;
+        } catch (const WatchdogError &e) {
+            // A tripped watchdog is a first-class ledger event: fleet
+            // tooling watches for these, not generic retries.
+            RunLedger::process().event("watchdog-fire", a + 1, e.what());
+            out.failure = RunFailure{r, seed, a + 1, e.what()};
         } catch (const std::exception &e) {
             out.failure = RunFailure{r, seed, a + 1, e.what()};
         }
+        if (a + 1 < tries)
+            RunLedger::process().event("run-retry", a + 1,
+                                       out.failure.error);
     }
     return out;
 }

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for harness tooling.
+ *
+ * The JsonWriter/jsonSpan pair in json.hpp covers the hot paths — it
+ * reads exactly the compact documents this repo writes. Cross-run
+ * tooling (espnuca-report, espnuca-top) must also read documents it
+ * did not write: pretty-printed BENCH_core.json, hand-edited
+ * baselines, google-benchmark output. This parser accepts any
+ * RFC 8259 document and produces an ordered value tree; it is not a
+ * performance path and favours smallness over speed.
+ *
+ * Numbers keep both the parsed double and the raw source text, so
+ * tooling can render a value exactly as the document spelled it.
+ */
+
+#ifndef ESPNUCA_HARNESS_JSON_PARSE_HPP_
+#define ESPNUCA_HARNESS_JSON_PARSE_HPP_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace espnuca {
+
+/** One parsed JSON value. Object members keep document order. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text; //!< string payload, or a number's source spelling
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> items;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup (objects only). @return nullptr when absent. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    /** `find` chained through nested objects; nullptr on any miss. */
+    const JsonValue *
+    path(const std::vector<std::string> &keys) const
+    {
+        const JsonValue *v = this;
+        for (const std::string &k : keys) {
+            if (v == nullptr || !v->isObject())
+                return nullptr;
+            v = v->find(k);
+        }
+        return v;
+    }
+};
+
+namespace detail {
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : s_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing garbage after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_ != nullptr && error_->empty())
+            *error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool b)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos_)
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return fail("bad literal");
+        out.kind = kind;
+        out.boolean = b;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            const char esc = s_[pos_++];
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs in
+                // harness documents do not occur; a lone surrogate
+                // encodes as-is, which round-trips for our purposes).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+            }
+            default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Number;
+        out.text = s_.substr(start, pos_ - start);
+        out.number = std::strtod(out.text.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of document");
+        switch (s_[pos_]) {
+        case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (!expect(':'))
+                    return false;
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return expect('}');
+            }
+        }
+        case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.items.push_back(std::move(v));
+                skipWs();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+        case 't':
+            return literal("true", out, JsonValue::Kind::Bool, true);
+        case 'f':
+            return literal("false", out, JsonValue::Kind::Bool, false);
+        case 'n':
+            return literal("null", out, JsonValue::Kind::Null, false);
+        default:
+            return number(out);
+        }
+    }
+
+    const std::string &s_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse `text` into `out`. @return false (with a message in *error,
+ *  when given) on malformed input. */
+inline bool
+jsonParse(const std::string &text, JsonValue &out, std::string *error = nullptr)
+{
+    out = JsonValue();
+    return detail::JsonParser(text, error).parse(out);
+}
+
+/**
+ * Flatten every numeric leaf into `out` as "a.b.c" → value (std::map,
+ * so report output is key-sorted — what a diff wants). Array elements
+ * join the path by index.
+ */
+inline void
+jsonFlattenNumbers(const JsonValue &v, const std::string &prefix,
+                   std::map<std::string, double> &out)
+{
+    switch (v.kind) {
+    case JsonValue::Kind::Number:
+        out[prefix] = v.number;
+        break;
+    case JsonValue::Kind::Object:
+        for (const auto &[k, child] : v.members)
+            jsonFlattenNumbers(
+                child, prefix.empty() ? k : prefix + "." + k, out);
+        break;
+    case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.items.size(); ++i)
+            jsonFlattenNumbers(v.items[i],
+                               prefix.empty()
+                                   ? std::to_string(i)
+                                   : prefix + "." + std::to_string(i),
+                               out);
+        break;
+    default:
+        break;
+    }
+}
+
+} // namespace espnuca
+
+#endif // ESPNUCA_HARNESS_JSON_PARSE_HPP_

@@ -17,6 +17,7 @@
 #include "common/log.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
+#include "harness/stats_json.hpp"
 #include "obs/metrics_sampler.hpp"
 
 namespace espnuca {
@@ -96,6 +97,10 @@ writeRunJson(JsonWriter &w, const RunResult &r)
         w.key("timeseries");
         writeTimeseriesJson(w, r.timeseries);
     }
+    // Unified registry export, present only when the caller collected
+    // it (--stats with machine-readable output).
+    if (!r.statsJson.empty())
+        w.key("stats").raw(r.statsJson);
     w.endObject();
 }
 

@@ -131,6 +131,18 @@ class Supervisor
     int
     run()
     {
+        // Mint the run id and export it before the first fork: every
+        // worker's ledger carries the same id as ours.
+        std::string run_id = inheritedRunId();
+        if (run_id.empty())
+            run_id = makeRunId();
+        ::setenv(kRunIdEnv, run_id.c_str(), 1);
+        RunLedger &ledger = RunLedger::process();
+        ledger.open(ledgerPathFor(opts_.resultsDir, /*supervisor=*/true),
+                    run_id, buildDescribe(), "supervisor", 0);
+        ledger.event("run-start", opts_.shards,
+                     opts_.workerCmd.empty() ? std::string()
+                                             : opts_.workerCmd[0]);
         for (const QuarantineRecord &q : readQuarantine(opts_.resultsDir))
             quarantine_.push_back(q);
         shards_.resize(opts_.shards);
@@ -152,10 +164,12 @@ class Supervisor
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(opts_.pollMs));
         }
+        int rc = 0;
         for (const Shard &s : shards_)
             if (s.state == State::Failed)
-                return 1;
-        return 0;
+                rc = 1;
+        ledger.event("run-finish", static_cast<std::uint64_t>(rc));
+        return rc;
     }
 
     const std::vector<WorkerFailure> &failures() const
@@ -189,6 +203,7 @@ class Supervisor
         Clock::time_point lastBeat{}; //!< heartbeat bytes last changed
         std::string lastContent;      //!< heartbeat bytes last seen
         bool stallKillSent = false;   //!< we SIGKILLed it for a stall
+        bool gapLogged = false;       //!< heartbeat-gap ledgered once
     };
 
     std::vector<std::string>
@@ -230,6 +245,12 @@ class Supervisor
         s.lastBeat = Clock::now();
         s.lastContent.clear();
         s.stallKillSent = false;
+        s.gapLogged = false;
+        RunLedger::process().event(
+            "worker-spawn", static_cast<std::uint64_t>(pid),
+            "shard " + std::to_string(s.index) +
+                (s.restarts == 0 ? "" : " restart " +
+                                            std::to_string(s.restarts)));
         if (opts_.verbose)
             std::printf("[swarm] shard %u: pid %d %s\n", s.index,
                         static_cast<int>(pid),
@@ -264,6 +285,9 @@ class Supervisor
             if (s.restarts > opts_.maxRestarts) {
                 s.state = State::Failed;
                 gaveUp = true;
+                RunLedger::process().event(
+                    "shard-give-up", s.restarts,
+                    "shard " + std::to_string(s.index));
                 std::fprintf(stderr,
                              "[swarm] shard %u: giving up after %u "
                              "restarts\n",
@@ -280,6 +304,9 @@ class Supervisor
     {
         if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
             s.state = State::Done;
+            RunLedger::process().event(
+                "worker-exit", static_cast<std::uint64_t>(s.pid),
+                "shard " + std::to_string(s.index) + " done");
             if (opts_.verbose)
                 std::printf("[swarm] shard %u: done\n", s.index);
             return;
@@ -317,6 +344,9 @@ class Supervisor
             f.workload = hb.workload;
         }
         failures_.push_back(f);
+        RunLedger::process().event(
+            "worker-exit", static_cast<std::uint64_t>(s.pid),
+            f.describe());
         if (opts_.verbose)
             std::printf("[swarm] %s\n", f.describe().c_str());
 
@@ -347,6 +377,9 @@ class Supervisor
         q.deaths = deaths;
         q.error = f.describe();
         quarantine_.push_back(q);
+        RunLedger::process().pointEvent("point-quarantine", q.hash,
+                                        q.index, q.arch, q.workload,
+                                        deaths, q.error);
         FileError err;
         if (!writeQuarantine(opts_.resultsDir, quarantine_, &err))
             std::fprintf(stderr, "[swarm] %s\n", err.message().c_str());
@@ -376,9 +409,22 @@ class Supervisor
             return;
         const auto quiet = std::chrono::duration_cast<
             std::chrono::milliseconds>(Clock::now() - s.lastBeat);
-        if (static_cast<std::uint64_t>(quiet.count()) >=
-            opts_.stallTimeoutMs) {
+        const std::uint64_t quiet_ms =
+            static_cast<std::uint64_t>(quiet.count());
+        // Flag a suspiciously long gap (half the stall budget) once per
+        // incident so the ledger shows the lead-up, not just the kill.
+        if (!s.gapLogged && quiet_ms >= opts_.stallTimeoutMs / 2) {
+            s.gapLogged = true;
+            RunLedger::process().event(
+                "heartbeat-gap", quiet_ms,
+                "shard " + std::to_string(s.index));
+        }
+        if (quiet_ms >= opts_.stallTimeoutMs) {
             s.stallKillSent = true;
+            RunLedger::process().event(
+                "worker-stall-kill", static_cast<std::uint64_t>(s.pid),
+                "shard " + std::to_string(s.index) + " quiet " +
+                    std::to_string(quiet_ms) + " ms");
             ::kill(s.pid, SIGKILL);
         }
     }
@@ -403,6 +449,9 @@ class Supervisor
         Shard &victim = *running[chaosRng_.below(
             static_cast<std::uint32_t>(running.size()))];
         chaosPids_.insert(victim.pid);
+        RunLedger::process().event(
+            "chaos-kill", static_cast<std::uint64_t>(victim.pid),
+            "shard " + std::to_string(victim.index));
         ::kill(victim.pid, SIGKILL);
     }
 

@@ -41,6 +41,7 @@
 #include "common/crc32c.hpp"
 #include "common/rng.hpp"
 #include "common/snapshot.hpp"
+#include "harness/ledger.hpp"
 #include "harness/report.hpp"
 
 namespace espnuca {
@@ -129,106 +130,6 @@ pointHash(const std::string &bench, const ExperimentMatrix::Entry &e)
     return splitmix64(fnv1a(w.bytes().data(), w.bytes().size()));
 }
 
-/** A string as a JSON string literal (JsonWriter escaping). */
-inline std::string
-jsonQuote(const std::string &s)
-{
-    JsonWriter w;
-    w.value(s);
-    return w.str();
-}
-
-/**
- * Extract the raw value span of a top-level key from a compact JSON
- * object (as produced by JsonWriter — no inter-token whitespace).
- * String-aware and brace-balanced: spans may contain nested containers
- * and escaped quotes. Returns "" when the key is absent. This is the
- * only "parsing" the sweep engine ever does — spans are compared and
- * re-framed byte-for-byte, never decoded.
- */
-inline std::string
-jsonSpan(const std::string &doc, const std::string &key)
-{
-    const std::string needle = "\"" + key + "\":";
-    std::size_t i = 0;
-    int depth = 0;
-    bool in_str = false;
-    bool esc = false;
-    while (i < doc.size()) {
-        const char c = doc[i];
-        if (in_str) {
-            if (esc)
-                esc = false;
-            else if (c == '\\')
-                esc = true;
-            else if (c == '"')
-                in_str = false;
-            ++i;
-            continue;
-        }
-        if (c == '"') {
-            if (depth == 1 &&
-                doc.compare(i, needle.size(), needle) == 0) {
-                const std::size_t v = i + needle.size();
-                if (v >= doc.size())
-                    return std::string();
-                std::size_t end = v;
-                if (doc[v] == '"') {
-                    bool e2 = false;
-                    ++end;
-                    while (end < doc.size()) {
-                        const char k = doc[end];
-                        ++end;
-                        if (e2)
-                            e2 = false;
-                        else if (k == '\\')
-                            e2 = true;
-                        else if (k == '"')
-                            break;
-                    }
-                } else if (doc[v] == '{' || doc[v] == '[') {
-                    int d2 = 0;
-                    bool s2 = false;
-                    bool e2 = false;
-                    while (end < doc.size()) {
-                        const char k = doc[end];
-                        ++end;
-                        if (s2) {
-                            if (e2)
-                                e2 = false;
-                            else if (k == '\\')
-                                e2 = true;
-                            else if (k == '"')
-                                s2 = false;
-                        } else if (k == '"') {
-                            s2 = true;
-                        } else if (k == '{' || k == '[') {
-                            ++d2;
-                        } else if (k == '}' || k == ']') {
-                            if (--d2 == 0)
-                                break;
-                        }
-                    }
-                } else {
-                    while (end < doc.size() && doc[end] != ',' &&
-                           doc[end] != '}')
-                        ++end;
-                }
-                return doc.substr(v, end - v);
-            }
-            in_str = true;
-            ++i;
-            continue;
-        }
-        if (c == '{' || c == '[')
-            ++depth;
-        else if (c == '}' || c == ']')
-            --depth;
-        ++i;
-    }
-    return std::string();
-}
-
 /**
  * One completed point as stored in the results directory. The build /
  * config / point members hold raw JSON value spans — exact bytes of
@@ -276,14 +177,13 @@ pointRecordJson(const PointRecord &p)
     w.key("config").raw(p.config);
     w.key("point").raw(p.point);
     w.endObject();
-    const std::string core = w.str();
-    return core.substr(0, core.size() - 1) + ",\"crc32c\":\"" +
-           crc32cHex(crc32c(core)) + "\"}";
+    return jsonCrcAppend(w.str());
 }
 
-/** The checksum suffix every v2 record ends with: ,"crc32c":"hhhhhhhh"} */
-inline constexpr std::size_t kPointCrcTagLen = 11;  // ,"crc32c":"
-inline constexpr std::size_t kPointCrcSuffixLen = 21; // tag + 8 hex + "}
+/** The checksum suffix every v2 record ends with: ,"crc32c":"hhhhhhhh"}
+ *  (the shared json.hpp framing; ledger records use it too). */
+inline constexpr std::size_t kPointCrcTagLen = kJsonCrcTagLen;
+inline constexpr std::size_t kPointCrcSuffixLen = kJsonCrcSuffixLen;
 
 /**
  * Validate a record's checksum field against its content. Throws a
@@ -384,61 +284,6 @@ writePointFile(const std::string &path, const PointRecord &rec,
 {
     return writeFileAtomicChecked(path, pointRecordJson(rec) + "\n",
                                   /*durable=*/true, error);
-}
-
-/**
- * Split a compact JSON array span ("[...]") into its top-level element
- * spans. String-aware and brace-balanced like jsonSpan; scalars,
- * objects and nested arrays all come back verbatim.
- */
-inline std::vector<std::string>
-jsonArrayItems(const std::string &arr)
-{
-    std::vector<std::string> items;
-    if (arr.size() < 2 || arr.front() != '[')
-        return items;
-    std::size_t start = 1;
-    int depth = 0;
-    bool in_str = false;
-    bool esc = false;
-    for (std::size_t i = 1; i < arr.size(); ++i) {
-        const char c = arr[i];
-        if (in_str) {
-            if (esc)
-                esc = false;
-            else if (c == '\\')
-                esc = true;
-            else if (c == '"')
-                in_str = false;
-            continue;
-        }
-        if (c == '"') {
-            in_str = true;
-        } else if (c == '{' || c == '[') {
-            ++depth;
-        } else if (c == '}' || c == ']') {
-            if (c == ']' && depth == 0) {
-                if (i > start)
-                    items.push_back(arr.substr(start, i - start));
-                break;
-            }
-            --depth;
-        } else if (c == ',' && depth == 0) {
-            items.push_back(arr.substr(start, i - start));
-            start = i + 1;
-        }
-    }
-    return items;
-}
-
-/** Undo jsonQuote for the simple identifier strings the sweep formats
- *  store (arch/workload names, states — never escaped content). */
-inline std::string
-jsonUnquote(const std::string &s)
-{
-    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
-        return s.substr(1, s.size() - 2);
-    return s;
 }
 
 // ---------------------------------------------------------------------
@@ -562,6 +407,7 @@ struct Heartbeat
     std::string workload;
     std::uint64_t done = 0;  //!< units completed so far
     std::uint64_t total = 0; //!< units owned by this worker
+    std::uint64_t wallMs = 0; //!< wall clock at write (heartbeat age)
 };
 
 inline std::string
@@ -579,6 +425,9 @@ heartbeatJson(const Heartbeat &hb)
     w.field("workload", hb.workload);
     w.field("done", hb.done);
     w.field("total", hb.total);
+    // Additive (schema stays v1): readers that don't know wall_ms keep
+    // parsing; espnuca-top uses it for heartbeat-age display.
+    w.field("wall_ms", hb.wallMs);
     w.endObject();
     return w.str();
 }
@@ -603,6 +452,8 @@ parseHeartbeat(const std::string &doc, Heartbeat &out)
     out.workload = jsonUnquote(jsonSpan(doc, "workload"));
     out.done = std::strtoull(jsonSpan(doc, "done").c_str(), nullptr, 10);
     out.total = std::strtoull(jsonSpan(doc, "total").c_str(), nullptr, 10);
+    out.wallMs =
+        std::strtoull(jsonSpan(doc, "wall_ms").c_str(), nullptr, 10);
     return !out.state.empty();
 }
 
@@ -615,6 +466,7 @@ writeHeartbeat(const std::string &path, Heartbeat &hb)
         return;
     ++hb.seq;
     hb.pid = static_cast<std::uint64_t>(::getpid());
+    hb.wallMs = ledgerWallMs();
     writeFileAtomicChecked(path, heartbeatJson(hb) + "\n",
                            /*durable=*/false, nullptr);
 }
@@ -768,6 +620,19 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
     hb.state = "start";
     writeHeartbeat(cli.heartbeatPath, hb);
 
+    // Worker-side ledger: one events file per shard under the results
+    // directory, stamped with the supervisor's run id when supervised.
+    RunLedger &ledger = RunLedger::process();
+    {
+        std::string run = inheritedRunId();
+        if (run.empty())
+            run = makeRunId();
+        ledger.open(ledgerPathFor(cli.resultsDir, /*supervisor=*/false,
+                                  index),
+                    run, buildDescribe(), "worker", index);
+    }
+    ledger.event("shard-start", mine, bench);
+
     std::size_t done = 0;
     std::size_t skipped = 0;
     std::size_t poisoned = 0;
@@ -780,6 +645,8 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
             std::printf("[sweep] skip  %s %s/%s (quarantined)\n",
                         digestHex(h).c_str(), e.arch.c_str(),
                         e.workload.c_str());
+            ledger.pointEvent("point-quarantine-skip", h, i, e.arch,
+                              e.workload);
             ++poisoned;
             ++hb.done;
             continue;
@@ -803,6 +670,8 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
                 std::printf("[sweep] skip  %s %s/%s (valid result)\n",
                             digestHex(h).c_str(), e.arch.c_str(),
                             e.workload.c_str());
+                ledger.pointEvent("point-skip", h, i, e.arch,
+                                  e.workload, 0, "valid result");
                 ++skipped;
                 ++hb.done;
                 continue;
@@ -810,6 +679,8 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
             std::printf("[sweep] redo  %s %s/%s (%s)\n",
                         digestHex(h).c_str(), e.arch.c_str(),
                         e.workload.c_str(), why.c_str());
+            ledger.pointEvent("point-redo", h, i, e.arch, e.workload, 0,
+                              why);
         }
         hb.state = "point-start";
         hb.pointHash = h;
@@ -817,6 +688,8 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
         hb.arch = e.arch;
         hb.workload = e.workload;
         writeHeartbeat(cli.heartbeatPath, hb);
+        const std::uint64_t started = ledgerWallMs();
+        ledger.pointEvent("point-start", h, i, e.arch, e.workload);
         const DataPoint p = runPointParallel(
             e.cfg, e.arch, e.workload, pool ? &*pool : nullptr);
         PointRecord rec;
@@ -840,12 +713,17 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
         ++hb.done;
         hb.state = "point-done";
         writeHeartbeat(cli.heartbeatPath, hb);
+        // value = wall milliseconds spent on the point (throughput/ETA
+        // input for espnuca-top).
+        ledger.pointEvent("point-finish", h, i, e.arch, e.workload,
+                          ledgerWallMs() - started);
         std::printf("[sweep] done  %s %s/%s\n", digestHex(h).c_str(),
                     e.arch.c_str(), e.workload.c_str());
     }
     hb.state = "shard-done";
     hb.pointHash = 0;
     writeHeartbeat(cli.heartbeatPath, hb);
+    ledger.event("shard-finish", done, bench);
     std::printf("[sweep] shard %u/%u: %zu computed, %zu resumed, "
                 "%zu quarantined, %zu point(s) total in grid\n",
                 index, count, done, skipped, poisoned, entries.size());

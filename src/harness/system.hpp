@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "arch/arch_factory.hpp"
+#include "harness/ledger.hpp"
+#include "harness/stats_json.hpp"
 #include "stats/stats_registry.hpp"
 #include "coherence/protocol.hpp"
 #include "cpu/trace_core.hpp"
@@ -65,6 +67,10 @@ struct RunResult
 
     /** Epoch telemetry (empty unless a MetricsSampler was enabled). */
     std::vector<obs::MetricsSample> timeseries;
+
+    /** Pre-serialized StatsRegistry JSON (empty unless the caller
+     *  requested per-run stats in the machine-readable output). */
+    std::string statsJson;
 };
 
 /** One assembled CMP instance (one architecture, one workload, one seed). */
@@ -281,7 +287,8 @@ class System
                     "cannot open " + path + " for trace output");
             return false;
         }
-        obs::writeChromeTrace(out, tracer_.snapshot());
+        obs::writeChromeTrace(out, tracer_.snapshot(),
+                              sampler_ ? &sampler_->samples() : nullptr);
         return out.good();
     }
 
@@ -293,77 +300,45 @@ class System
     }
 
     /**
+     * Register every component's statistics into `reg` under the
+     * unified naming scheme (DESIGN.md 5.13). The default collection
+     * is the frozen set dumpStats() has always printed; `extended`
+     * adds observer-side metrics (watchdog.*) that only the JSON /
+     * counter-track exports see, never the byte-compared text dump.
+     */
+    void
+    collectStats(StatsRegistry &reg, bool extended = false) const
+    {
+        reg.counter("sim.cycles").inc(eq_.now());
+        reg.counter("sim.events").inc(eq_.executed());
+        proto_.registerStats(reg);
+        mesh_.registerStats(reg);
+        injection_.registerStats(reg);
+        org_->registerStats(reg);
+        for (CoreId c = 0; c < cfg_.numCores; ++c) {
+            if (!cores_[c])
+                continue;
+            const StatsScope core =
+                StatsScope(reg, "core").sub(std::to_string(c));
+            core.counter("instructions").inc(cores_[c]->instructions());
+            core.counter("mem_ops").inc(cores_[c]->memOps());
+            core.average("ipc").record(cores_[c]->ipc());
+        }
+        // Wall-clock self-profiling (prof.*); empty unless --prof ran.
+        obs::ProfRegistry::instance().collect(reg);
+        if (extended && watchdog_)
+            watchdog_->registerStats(reg);
+    }
+
+    /**
      * Collect every component's statistics into a registry and dump
      * them as sorted "name value" lines (gem5-style stats file).
      */
     void
-    dumpStats(std::ostream &os)
+    dumpStats(std::ostream &os) const
     {
         StatsRegistry reg;
-        reg.counter("sim.cycles").inc(eq_.now());
-        reg.counter("sim.events").inc(eq_.executed());
-        reg.counter("proto.accesses").inc(proto_.totalAccesses());
-        reg.counter("proto.l1_hits").inc(proto_.l1Hits());
-        reg.counter("proto.transactions").inc(proto_.l2Transactions());
-        reg.counter("proto.offchip_fetches").inc(proto_.offChipFetches());
-        reg.counter("proto.writebacks").inc(proto_.writebacks());
-        reg.counter("proto.invals_sent").inc(proto_.invalidationsSent());
-        reg.counter("proto.privatizations").inc(proto_.privatizations());
-        for (std::size_t i = 0;
-             i < static_cast<std::size_t>(ServiceLevel::kNumLevels);
-             ++i) {
-            const auto &ls =
-                proto_.levelStats(static_cast<ServiceLevel>(i));
-            const std::string base =
-                std::string("level.") +
-                toString(static_cast<ServiceLevel>(i));
-            reg.counter(base + ".count").inc(ls.count);
-            reg.counter(base + ".cycles").inc(ls.totalLatency);
-        }
-        reg.counter("proto.completions").inc(proto_.completions());
-        reg.counter("proto.dropped_completions")
-            .inc(proto_.droppedCompletions());
-        reg.counter("mesh.messages").inc(mesh_.messagesSent());
-        reg.counter("mesh.flits").inc(mesh_.totalFlits());
-        reg.counter("mesh.link_wait").inc(mesh_.totalLinkWait());
-        reg.counter("mesh.link_intervals").inc(mesh_.totalIntervals());
-        reg.counter("mesh.link_peak_intervals").inc(mesh_.peakIntervals());
-        reg.counter("mesh.link_compactions")
-            .inc(mesh_.totalCompactions());
-        reg.counter("mesh.degraded_cycles")
-            .inc(mesh_.totalDegradedCycles());
-        reg.counter("fault.dead_banks").inc(injection_.deadBanks);
-        reg.counter("fault.disabled_ways").inc(injection_.disabledWays);
-        reg.counter("fault.degraded_links").inc(injection_.degradedLinks);
-        for (std::uint32_t m = 0; m < cfg_.memControllers; ++m) {
-            const std::string base = "mc." + std::to_string(m);
-            reg.counter(base + ".accesses")
-                .inc(proto_.memCtrl(m).accesses());
-            reg.counter(base + ".queue_wait")
-                .inc(proto_.memCtrl(m).queueWait());
-        }
-        for (BankId b = 0; b < org_->numBanks(); ++b) {
-            const CacheBank &bank = org_->bank(b);
-            const std::string base = "bank." + std::to_string(b);
-            reg.counter(base + ".accesses").inc(bank.accesses());
-            reg.counter(base + ".demand").inc(bank.demandAccesses());
-            reg.counter(base + ".demand_hits").inc(bank.demandHits());
-            reg.counter(base + ".evictions").inc(bank.evictions());
-            if (bank.monitor()) {
-                reg.counter(base + ".nmax").inc(bank.monitor()->nmax());
-            }
-        }
-        for (CoreId c = 0; c < cfg_.numCores; ++c) {
-            if (!cores_[c])
-                continue;
-            const std::string base = "core." + std::to_string(c);
-            reg.counter(base + ".instructions")
-                .inc(cores_[c]->instructions());
-            reg.counter(base + ".mem_ops").inc(cores_[c]->memOps());
-            reg.average(base + ".ipc").record(cores_[c]->ipc());
-        }
-        // Wall-clock self-profiling (prof.*); empty unless --prof ran.
-        obs::ProfRegistry::instance().collect(reg);
+        collectStats(reg);
         reg.dump(os);
     }
 
@@ -383,6 +358,8 @@ class System
     {
         ESP_PROF_SCOPE("system.epoch");
         startCores();
+        if (sampler_)
+            sampler_->arm();
         drainAndCheck();
     }
 
@@ -472,6 +449,11 @@ class System
                     "only synthetic sources are checkpointable");
             src->save(w);
         }
+        // Sampler section (v3): the warmup epoch's timeseries rides in
+        // the checkpoint so a restored run merges a complete series.
+        w.b(sampler_ != nullptr);
+        if (sampler_)
+            sampler_->save(w);
     }
 
     /**
@@ -518,6 +500,13 @@ class System
                     cfg_, p, seed * 1000003ULL + c);
             }
         }
+        // A sampler-presence or cadence mismatch would splice together
+        // an inconsistent timeseries: refuse, the caller cold-runs.
+        const bool had_sampler = r.b();
+        if (had_sampler != (sampler_ != nullptr))
+            throw SnapshotError("metrics-sampler presence mismatch");
+        if (sampler_)
+            sampler_->load(r);
         attachTailSources(std::move(tails));
     }
 
@@ -750,6 +739,9 @@ faultPlanDigest(const FaultPlan *fault)
  *
  * @param restored   set to whether a checkpoint fast-forward happened
  * @param stats_dump when non-null, receives dumpStats() of the run
+ * @param metrics_interval when non-zero, sample epoch telemetry every
+ *        N cycles across BOTH epochs; a checkpoint then carries the
+ *        warmup samples, so warm-restored and cold timeseries match
  */
 inline RunResult
 simulatePhased(const SystemConfig &cfg, const std::string &arch,
@@ -758,7 +750,8 @@ simulatePhased(const SystemConfig &cfg, const std::string &arch,
                const FaultPlan *fault = nullptr,
                const std::string &checkpoint_path = "",
                bool *restored = nullptr,
-               std::string *stats_dump = nullptr)
+               std::string *stats_dump = nullptr,
+               Cycle metrics_interval = 0)
 {
     const Workload wl = makeWorkload(workload, cfg, ops_per_core, seed);
     std::vector<std::uint64_t> warm_ops(cfg.numCores, 0);
@@ -789,6 +782,9 @@ simulatePhased(const SystemConfig &cfg, const std::string &arch,
             std::ostringstream os;
             sys.dumpStats(os);
             *stats_dump = os.str();
+            StatsRegistry ext;
+            sys.collectStats(ext, true);
+            res.statsJson = statsToJson(ext);
         }
         return res;
     };
@@ -802,10 +798,14 @@ simulatePhased(const SystemConfig &cfg, const std::string &arch,
                     cfg.numCores);
                 System sys(cfg, arch, workload, std::move(none), seed,
                            0.0, 0, fault);
+                if (metrics_interval > 0)
+                    sys.enableMetrics(metrics_interval);
                 sys.loadSnapshot(r, wl, seed, tail_ops);
                 r.finish();
                 if (restored != nullptr)
                     *restored = true;
+                RunLedger::process().event("checkpoint-load", warm_total,
+                                           checkpoint_path);
                 return finishRun(sys);
             }
             // Identity mismatch: cold run below rewrites the file.
@@ -826,14 +826,18 @@ simulatePhased(const SystemConfig &cfg, const std::string &arch,
     }
     System sys(cfg, arch, workload, std::move(warm_srcs), seed, 0.0, 0,
                fault);
+    if (metrics_interval > 0)
+        sys.enableMetrics(metrics_interval);
     if (warm_total > 0)
         sys.runEpoch();
     sys.resetAtBoundary();
     SnapshotWriter w;
     w.header(id);
     sys.saveSnapshot(w);
-    if (!checkpoint_path.empty() && warm_total > 0)
-        w.writeFile(checkpoint_path); // best effort; failure = no reuse
+    if (!checkpoint_path.empty() && warm_total > 0 &&
+        w.writeFile(checkpoint_path)) // best effort; failure = no reuse
+        RunLedger::process().event("checkpoint-save", warm_total,
+                                   checkpoint_path);
     // Round-trip through the freshly written bytes so the tail sources
     // are constructed by the exact code path a warm restore takes.
     SnapshotReader r(w.bytes());

@@ -20,6 +20,7 @@
 #include "obs/profiler.hpp"
 #include "obs/trace_buffer.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/stats_registry.hpp"
 
 namespace espnuca {
 
@@ -169,6 +170,24 @@ class Mesh
         for (const auto &l : links_)
             sum += l.degradedCycles();
         return sum;
+    }
+
+    /**
+     * Register the network's statistics under mesh.* (unified naming,
+     * DESIGN.md 5.13). Names are frozen — stats dumps are
+     * byte-compared across refactors.
+     */
+    void
+    registerStats(StatsRegistry &reg) const
+    {
+        const StatsScope mesh(reg, "mesh");
+        mesh.counter("messages").inc(messagesSent_);
+        mesh.counter("flits").inc(totalFlits());
+        mesh.counter("link_wait").inc(totalLinkWait());
+        mesh.counter("link_intervals").inc(totalIntervals());
+        mesh.counter("link_peak_intervals").inc(peakIntervals());
+        mesh.counter("link_compactions").inc(totalCompactions());
+        mesh.counter("degraded_cycles").inc(totalDegradedCycles());
     }
 
     /** Mean end-to-end message latency observed so far. */

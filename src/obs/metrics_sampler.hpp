@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
 
@@ -88,6 +89,79 @@ class MetricsSampler
 
     const std::vector<MetricsSample> &samples() const { return samples_; }
     Cycle interval() const { return interval_; }
+
+    // -- Snapshot/restore ----------------------------------------------
+    //
+    // The series captured so far (the warmup epoch's samples) rides
+    // inside the checkpoint, so a warm-restored run's merged timeseries
+    // is byte-identical to the cold run's: warmup samples from the
+    // snapshot, tail samples recorded live after the fast-forward.
+
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u64(interval_);
+        w.u64(samples_.size());
+        for (const MetricsSample &s : samples_) {
+            w.u64(s.cycle);
+            w.u64(s.mshrDepth);
+            w.u64(s.inFlight);
+            w.u64(s.meshFlits);
+            w.u64(s.linkWait);
+            w.u64(s.memAccesses);
+            w.b(s.hasMonitor);
+            w.u64(s.banks.size());
+            for (const BankMetrics &b : s.banks) {
+                w.u32(b.nmax);
+                w.u32(b.hrRef);
+                w.u32(b.hrConv);
+                w.u32(b.hrExp);
+                w.u32(b.replicas);
+                w.u32(b.victims);
+                w.u64(b.demandAccesses);
+                w.u64(b.demandHits);
+            }
+        }
+    }
+
+    /** Replace the series with the serialized one. Throws SnapshotError
+     *  on a cadence mismatch: splicing a warmup sampled at one interval
+     *  onto a tail sampled at another would corrupt the series. */
+    void
+    load(SnapshotReader &r)
+    {
+        const Cycle iv = r.u64();
+        if (iv != interval_)
+            throw SnapshotError("metrics-interval mismatch");
+        samples_.clear();
+        const std::uint64_t n = r.u64();
+        samples_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            MetricsSample s;
+            s.cycle = r.u64();
+            s.mshrDepth = r.u64();
+            s.inFlight = r.u64();
+            s.meshFlits = r.u64();
+            s.linkWait = r.u64();
+            s.memAccesses = r.u64();
+            s.hasMonitor = r.b();
+            const std::uint64_t nb = r.u64();
+            s.banks.reserve(nb);
+            for (std::uint64_t b = 0; b < nb; ++b) {
+                BankMetrics bm;
+                bm.nmax = r.u32();
+                bm.hrRef = r.u32();
+                bm.hrConv = r.u32();
+                bm.hrExp = r.u32();
+                bm.replicas = r.u32();
+                bm.victims = r.u32();
+                bm.demandAccesses = r.u64();
+                bm.demandHits = r.u64();
+                s.banks.push_back(bm);
+            }
+            samples_.push_back(std::move(s));
+        }
+    }
 
   private:
     void

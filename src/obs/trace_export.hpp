@@ -5,7 +5,11 @@
  * Layout: transactions become complete ("ph":"X") spans on pid 1 with
  * one track per issuing core; bank events (probes, evictions, helping
  * blocks) are instants on pid 2 tracked by bank; mesh hops instants on
- * pid 3 tracked by node; memory events on pid 4 tracked by controller.
+ * pid 3 tracked by node; memory events on pid 4 tracked by controller;
+ * when epoch telemetry ran alongside the trace, each MetricsSampler
+ * tick becomes counter ("ph":"C") events on pid 5, one named series
+ * per system-level metric, so load curves render as counter tracks
+ * above the spans they explain.
  * Every event carries the owning transaction id in args.tx so a span
  * and its probes/hops correlate in the Perfetto UI (and in the CI
  * validator, tools/check_trace.py). Timestamps are core cycles written
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "coherence/tx_state.hpp"
+#include "obs/metrics_sampler.hpp"
 #include "obs/trace_buffer.hpp"
 
 namespace espnuca {
@@ -69,10 +74,13 @@ writeProcessName(std::ostream &os, bool &first, int pid, const char *name)
  * Write `records` as one Chrome trace_event JSON document. Pairs
  * TxIssue/TxComplete into complete spans; an issue without a matching
  * complete (a transaction still in flight when the capture stopped)
- * degrades to an instant so nothing is silently dropped.
+ * degrades to an instant so nothing is silently dropped. When
+ * `samples` is non-null, epoch telemetry rides along as counter
+ * tracks (pid 5).
  */
 inline void
-writeChromeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
+writeChromeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
+                 const std::vector<MetricsSample> *samples = nullptr)
 {
     using detail::writeArgsOpen;
     using detail::writeEventCommon;
@@ -92,6 +100,8 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
     detail::writeProcessName(os, first, 2, "l2-banks");
     detail::writeProcessName(os, first, 3, "mesh");
     detail::writeProcessName(os, first, 4, "memory");
+    if (samples != nullptr && !samples->empty())
+        detail::writeProcessName(os, first, 5, "counters");
 
     for (const TraceRecord &r : records) {
         switch (r.kind) {
@@ -172,6 +182,40 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
                 os << ",\"class\":" << r.b;
             os << "}}";
             break;
+        }
+    }
+
+    // Epoch telemetry as Perfetto counter tracks: one "ph":"C" event
+    // per sample per series. Cumulative series are deltified so the
+    // track shows per-interval activity, not an ever-growing ramp.
+    if (samples != nullptr) {
+        auto counter = [&os, &first](const char *name, Cycle ts,
+                                     std::uint64_t value) {
+            writeEventCommon(os, first, name, "counter", "C", ts, 5, 0);
+            writeArgsOpen(os);
+            os << "\"" << name << "\":" << value << "}}";
+        };
+        // A cumulative counter can restart at an epoch boundary (the
+        // boundary drain resets it); a sample below its predecessor is
+        // taken as a fresh base, not a negative delta.
+        auto delta = [](std::uint64_t cur, std::uint64_t prev) {
+            return cur >= prev ? cur - prev : cur;
+        };
+        std::uint64_t prevFlits = 0;
+        std::uint64_t prevWait = 0;
+        std::uint64_t prevMem = 0;
+        for (const MetricsSample &s : *samples) {
+            counter("mshr_depth", s.cycle, s.mshrDepth);
+            counter("in_flight", s.cycle, s.inFlight);
+            counter("mesh_flits", s.cycle, delta(s.meshFlits, prevFlits));
+            counter("link_wait", s.cycle,
+                    delta(static_cast<std::uint64_t>(s.linkWait),
+                          prevWait));
+            counter("mem_accesses", s.cycle,
+                    delta(s.memAccesses, prevMem));
+            prevFlits = s.meshFlits;
+            prevWait = static_cast<std::uint64_t>(s.linkWait);
+            prevMem = s.memAccesses;
         }
     }
 

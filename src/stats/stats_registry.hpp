@@ -1,7 +1,10 @@
 /**
  * @file
- * Named statistic registry: owns counters/averages registered by the
- * simulator components and dumps them in a stable text format.
+ * Named statistic registry: owns counters/gauges/averages/histograms
+ * registered by the simulator components and dumps them in a stable
+ * text format. This is the single collection surface every component's
+ * registerStats() writes into — the stats dump, the run JSON "stats"
+ * section and the Perfetto counter tracks all read from here.
  */
 
 #ifndef ESPNUCA_STATS_STATS_REGISTRY_HPP_
@@ -10,8 +13,10 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 
 #include "stats/counter.hpp"
+#include "stats/histogram.hpp"
 
 namespace espnuca {
 
@@ -19,6 +24,13 @@ namespace espnuca {
  * A flat name -> value store. Components register by name; names use
  * dotted paths ("l1.0.hits"). The map keeps deterministic (sorted) order
  * for reproducible dumps.
+ *
+ * Naming scheme (DESIGN.md 5.13): `<component>.<instance>.<metric>`,
+ * the instance segment omitted for singletons — `proto.accesses`,
+ * `bank.3.evictions`, `mc.0.queue_wait`, `core.7.ipc`, `prof.<site>.ns`.
+ * The text dump prints counters first, then averages, then gauges,
+ * then histograms (each section name-sorted) — legacy collections
+ * register only counters/averages, so their dumps are byte-stable.
  */
 class StatsRegistry
 {
@@ -28,6 +40,23 @@ class StatsRegistry
 
     /** Get (creating on first use) an average by name. */
     Average &average(const std::string &name) { return averages_[name]; }
+
+    /** Get (creating on first use) a gauge by name. */
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+
+    /** Get (creating on first use) a histogram by name; the bucket
+     *  geometry is fixed by whoever registers it first. */
+    Histogram &
+    histogram(const std::string &name, std::uint64_t bucket_width = 1,
+              std::size_t num_buckets = 64)
+    {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            it = histograms_
+                     .emplace(name, Histogram(bucket_width, num_buckets))
+                     .first;
+        return it->second;
+    }
 
     /** Read a counter value; 0 when absent. */
     std::uint64_t
@@ -43,6 +72,14 @@ class StatsRegistry
     {
         auto it = averages_.find(name);
         return it == averages_.end() ? 0.0 : it->second.mean();
+    }
+
+    /** Read a gauge; 0 when absent. */
+    double
+    gaugeValue(const std::string &name) const
+    {
+        auto it = gauges_.find(name);
+        return it == gauges_.end() ? 0.0 : it->second.value();
     }
 
     /** Sum all counters whose name starts with the given prefix. */
@@ -65,6 +102,18 @@ class StatsRegistry
         return counters_;
     }
 
+    const std::map<std::string, Average> &averages() const
+    {
+        return averages_;
+    }
+
+    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
+
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
     /** Dump every statistic as "name value" lines. */
     void
     dump(std::ostream &os) const
@@ -73,6 +122,11 @@ class StatsRegistry
             os << name << " " << c.value() << "\n";
         for (const auto &[name, a] : averages_)
             os << name << " " << a.mean() << " (n=" << a.count() << ")\n";
+        for (const auto &[name, g] : gauges_)
+            os << name << " " << g.value() << "\n";
+        for (const auto &[name, h] : histograms_)
+            os << name << " " << h.mean() << " (total=" << h.total()
+               << ", p95=" << h.percentile(0.95) << ")\n";
     }
 
     /** Clear all statistics (values and registrations). */
@@ -81,11 +135,70 @@ class StatsRegistry
     {
         counters_.clear();
         averages_.clear();
+        gauges_.clear();
+        histograms_.clear();
     }
 
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * Hierarchical naming helper: a scope carries a dotted prefix so a
+ * component's registerStats() names only its leaves. `sub()` nests —
+ * StatsScope(reg, "bank").sub("3").counter("evictions") registers
+ * "bank.3.evictions".
+ */
+class StatsScope
+{
+  public:
+    explicit StatsScope(StatsRegistry &reg, std::string prefix = "")
+        : reg_(reg), prefix_(std::move(prefix))
+    {
+    }
+
+    StatsScope
+    sub(const std::string &name) const
+    {
+        return StatsScope(reg_, join(name));
+    }
+
+    Counter &counter(const std::string &name) const
+    {
+        return reg_.counter(join(name));
+    }
+
+    Average &average(const std::string &name) const
+    {
+        return reg_.average(join(name));
+    }
+
+    Gauge &gauge(const std::string &name) const
+    {
+        return reg_.gauge(join(name));
+    }
+
+    Histogram &
+    histogram(const std::string &name, std::uint64_t bucket_width = 1,
+              std::size_t num_buckets = 64) const
+    {
+        return reg_.histogram(join(name), bucket_width, num_buckets);
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string
+    join(const std::string &name) const
+    {
+        return prefix_.empty() ? name : prefix_ + "." + name;
+    }
+
+    StatsRegistry &reg_;
+    std::string prefix_;
 };
 
 } // namespace espnuca

@@ -27,8 +27,13 @@ namespace {
 std::string
 tmpPath(const std::string &name)
 {
+    // Unique per test: ctest runs each TEST as its own process, and a
+    // shared fixed path races when the suite runs with -j.
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
     return (std::filesystem::temp_directory_path() /
-            ("espnuca_corrupt_" + name))
+            ("espnuca_corrupt_" + std::string(info->name()) + "_" +
+             name))
         .string();
 }
 

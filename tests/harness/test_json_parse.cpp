@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Recursive-descent JSON parser tests (the espnuca-report reader).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/json_parse.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(JsonParse, ScalarsAndNesting)
+{
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(
+        R"({"a": 1.5, "b": "text", "c": true, "d": null,
+            "e": {"f": [1, 2, {"g": -3e2}]}})",
+        v));
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+    EXPECT_EQ(v.find("a")->text, "1.5"); // source spelling kept
+    EXPECT_EQ(v.find("b")->text, "text");
+    EXPECT_TRUE(v.find("c")->boolean);
+    EXPECT_EQ(v.find("d")->kind, JsonValue::Kind::Null);
+    const JsonValue *g = v.path({"e", "f"});
+    ASSERT_NE(g, nullptr);
+    ASSERT_TRUE(g->isArray());
+    ASSERT_EQ(g->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(g->items[2].find("g")->number, -300.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_EQ(v.path({"e", "missing"}), nullptr);
+}
+
+TEST(JsonParse, PrettyPrintedDocument)
+{
+    // The shape BENCH_core.json is committed in: indented, multi-line.
+    JsonValue v;
+    ASSERT_TRUE(jsonParse("{\n  \"protocol\": {\n    \"esp_nuca\": {\n"
+                          "      \"ns_per_transaction\": 2073.64\n"
+                          "    }\n  }\n}\n",
+                          v));
+    const JsonValue *ns =
+        v.path({"protocol", "esp_nuca", "ns_per_transaction"});
+    ASSERT_NE(ns, nullptr);
+    EXPECT_DOUBLE_EQ(ns->number, 2073.64);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(R"({"s": "a\"b\\c\ndA"})", v));
+    EXPECT_EQ(v.find("s")->text, "a\"b\\c\ndA");
+}
+
+TEST(JsonParse, MalformedInputsRejected)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(jsonParse("", v, &err));
+    EXPECT_FALSE(jsonParse("{", v));
+    EXPECT_FALSE(jsonParse("{\"a\":}", v));
+    EXPECT_FALSE(jsonParse("[1,]", v)); // the grammar has no trailing comma
+    EXPECT_FALSE(jsonParse("{\"a\":1} garbage", v));
+    EXPECT_FALSE(jsonParse("{\"a\" 1}", v));
+    EXPECT_FALSE(jsonParse("nul", v));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, EmptyContainers)
+{
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(R"({"o": {}, "a": []})", v));
+    EXPECT_TRUE(v.find("o")->members.empty());
+    EXPECT_TRUE(v.find("a")->items.empty());
+}
+
+TEST(JsonParse, FlattenNumbers)
+{
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(
+        R"({"top": 1, "nest": {"x": 2, "deep": {"y": 3}},
+            "arr": [10, {"z": 20}], "skip": "text"})",
+        v));
+    std::map<std::string, double> flat;
+    jsonFlattenNumbers(v, "", flat);
+    ASSERT_EQ(flat.size(), 5u);
+    EXPECT_DOUBLE_EQ(flat["top"], 1.0);
+    EXPECT_DOUBLE_EQ(flat["nest.x"], 2.0);
+    EXPECT_DOUBLE_EQ(flat["nest.deep.y"], 3.0);
+    EXPECT_DOUBLE_EQ(flat["arr.0"], 10.0);
+    EXPECT_DOUBLE_EQ(flat["arr.1.z"], 20.0);
+    EXPECT_EQ(flat.count("skip"), 0u);
+}
+
+} // namespace
+} // namespace espnuca

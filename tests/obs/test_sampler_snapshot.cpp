@@ -1,0 +1,188 @@
+/**
+ * @file
+ * MetricsSampler snapshot/restore: the epoch-telemetry time series must
+ * survive the warmup fast-forward. A checkpoint carries the warmup-side
+ * samples, so a restored run's merged timeseries is element-identical
+ * to the cold run's, continuous across the boundary — a plot drawn
+ * from a restored run must be indistinguishable from a cold one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "common/snapshot.hpp"
+#include "harness/report.hpp"
+#include "harness/system.hpp"
+
+namespace espnuca {
+namespace {
+
+constexpr Cycle kInterval = 5'000;
+constexpr std::uint64_t kOps = 12'000;
+constexpr double kWarmup = 0.5;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("espnuca_sampler_" + name + ".ckpt"))
+        .string();
+}
+
+RunResult
+runSampled(const std::string &arch, const std::string &path,
+           bool *restored)
+{
+    SystemConfig cfg;
+    return simulatePhased(cfg, arch, "apache", kOps, /*seed=*/7, kWarmup,
+                          /*fault=*/nullptr, path, restored,
+                          /*stats_dump=*/nullptr, kInterval);
+}
+
+void
+expectSameSeries(const std::vector<obs::MetricsSample> &a,
+                 const std::vector<obs::MetricsSample> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("sample " + std::to_string(i));
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].mshrDepth, b[i].mshrDepth);
+        EXPECT_EQ(a[i].inFlight, b[i].inFlight);
+        EXPECT_EQ(a[i].meshFlits, b[i].meshFlits);
+        EXPECT_EQ(a[i].linkWait, b[i].linkWait);
+        EXPECT_EQ(a[i].memAccesses, b[i].memAccesses);
+        EXPECT_EQ(a[i].hasMonitor, b[i].hasMonitor);
+        ASSERT_EQ(a[i].banks.size(), b[i].banks.size());
+        for (std::size_t bk = 0; bk < a[i].banks.size(); ++bk) {
+            EXPECT_EQ(a[i].banks[bk].nmax, b[i].banks[bk].nmax);
+            EXPECT_EQ(a[i].banks[bk].replicas, b[i].banks[bk].replicas);
+            EXPECT_EQ(a[i].banks[bk].victims, b[i].banks[bk].victims);
+            EXPECT_EQ(a[i].banks[bk].demandAccesses,
+                      b[i].banks[bk].demandAccesses);
+            EXPECT_EQ(a[i].banks[bk].demandHits,
+                      b[i].banks[bk].demandHits);
+        }
+    }
+}
+
+class SamplerSnapshot : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SamplerSnapshot, RestoredTimeseriesMatchesCold)
+{
+    const std::string arch = GetParam();
+    const std::string path = tmpPath(arch);
+    std::filesystem::remove(path);
+
+    bool restored = false;
+    const RunResult cold = runSampled(arch, path, &restored);
+    EXPECT_FALSE(restored);
+    ASSERT_FALSE(cold.timeseries.empty());
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    const RunResult warm = runSampled(arch, path, &restored);
+    EXPECT_TRUE(restored);
+
+    expectSameSeries(cold.timeseries, warm.timeseries);
+    // The JSON documents (timeseries included) must be byte-identical.
+    EXPECT_EQ(runToJson(cold), runToJson(warm));
+    std::filesystem::remove(path);
+}
+
+TEST_P(SamplerSnapshot, SeriesIsContinuousAcrossBoundary)
+{
+    const std::string arch = GetParam();
+    const std::string path = tmpPath(std::string(arch) + "_cont");
+    std::filesystem::remove(path);
+
+    bool restored = false;
+    runSampled(arch, path, &restored);
+    const RunResult warm = runSampled(arch, path, &restored);
+    ASSERT_TRUE(restored);
+    ASSERT_GE(warm.timeseries.size(), 2u);
+
+    // Strictly increasing tick cycles: the restored tail continues the
+    // warmup-side series instead of restarting at cycle 0. Within each
+    // epoch ticks land one interval apart; only the single splice point
+    // at the fast-forward boundary may carry a different (positive)
+    // gap, because the tail epoch re-arms relative to the boundary
+    // drain time.
+    EXPECT_EQ(warm.timeseries.front().cycle, kInterval);
+    std::size_t irregular = 0;
+    for (std::size_t i = 1; i < warm.timeseries.size(); ++i) {
+        ASSERT_LT(warm.timeseries[i - 1].cycle,
+                  warm.timeseries[i].cycle);
+        if (warm.timeseries[i].cycle - warm.timeseries[i - 1].cycle !=
+            kInterval)
+            ++irregular;
+    }
+    EXPECT_LE(irregular, 1u);
+    std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(ArchModels, SamplerSnapshot,
+                         ::testing::Values("shared", "esp-nuca",
+                                           "d-nuca"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SamplerSnapshot, IntervalMismatchFallsBackToCold)
+{
+    const std::string path = tmpPath("mismatch");
+    std::filesystem::remove(path);
+
+    bool restored = false;
+    SystemConfig cfg;
+    simulatePhased(cfg, "esp-nuca", "apache", kOps, 7, kWarmup, nullptr,
+                   path, &restored, nullptr, kInterval);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Same identity, different sampling cadence: the checkpointed
+    // sampler section no longer fits, so the run must fall back to a
+    // cold warmup (and rewrite the checkpoint) instead of restoring a
+    // series at the wrong cadence.
+    const RunResult other =
+        simulatePhased(cfg, "esp-nuca", "apache", kOps, 7, kWarmup,
+                       nullptr, path, &restored, nullptr, kInterval * 2);
+    EXPECT_FALSE(restored);
+    ASSERT_FALSE(other.timeseries.empty());
+    for (std::size_t i = 1; i < other.timeseries.size(); ++i)
+        EXPECT_EQ(other.timeseries[i].cycle -
+                      other.timeseries[i - 1].cycle,
+                  kInterval * 2);
+    std::filesystem::remove(path);
+}
+
+TEST(SamplerSnapshot, UnsampledRunRejectsSampledCheckpoint)
+{
+    const std::string path = tmpPath("presence");
+    std::filesystem::remove(path);
+
+    bool restored = false;
+    SystemConfig cfg;
+    simulatePhased(cfg, "esp-nuca", "apache", kOps, 7, kWarmup, nullptr,
+                   path, &restored, nullptr, kInterval);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // No sampler this time: presence mismatch → cold fallback, and the
+    // result carries no timeseries.
+    const RunResult plain =
+        simulatePhased(cfg, "esp-nuca", "apache", kOps, 7, kWarmup,
+                       nullptr, path, &restored);
+    EXPECT_FALSE(restored);
+    EXPECT_TRUE(plain.timeseries.empty());
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace espnuca

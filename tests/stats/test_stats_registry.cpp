@@ -58,9 +58,66 @@ TEST(StatsRegistry, ResetClearsEverything)
     StatsRegistry r;
     r.counter("x").inc();
     r.average("y").record(1.0);
+    r.gauge("g").set(3.0);
+    r.histogram("h").record(7);
     r.reset();
     EXPECT_EQ(r.counterValue("x"), 0u);
     EXPECT_DOUBLE_EQ(r.averageValue("y"), 0.0);
+    EXPECT_DOUBLE_EQ(r.gaugeValue("g"), 0.0);
+    EXPECT_TRUE(r.histograms().empty());
+}
+
+TEST(StatsRegistry, GaugesHoldLastSetValue)
+{
+    StatsRegistry r;
+    r.gauge("watchdog.armed").set(1.0);
+    r.gauge("watchdog.armed").set(0.0);
+    EXPECT_DOUBLE_EQ(r.gaugeValue("watchdog.armed"), 0.0);
+    EXPECT_DOUBLE_EQ(r.gaugeValue("absent"), 0.0);
+}
+
+TEST(StatsRegistry, HistogramGeometryFixedByFirstRegistrant)
+{
+    StatsRegistry r;
+    Histogram &h = r.histogram("lat", 10, 8);
+    h.record(5);
+    h.record(25);
+    // A second lookup with different geometry returns the same
+    // histogram, geometry unchanged.
+    Histogram &again = r.histogram("lat", 999, 2);
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.total(), 2u);
+}
+
+TEST(StatsRegistry, ScopeJoinsDottedPaths)
+{
+    StatsRegistry r;
+    const StatsScope bank = StatsScope(r, "bank").sub("3");
+    bank.counter("evictions").inc(2);
+    bank.average("occupancy").record(0.5);
+    bank.gauge("nmax").set(4.0);
+    EXPECT_EQ(bank.prefix(), "bank.3");
+    EXPECT_EQ(r.counterValue("bank.3.evictions"), 2u);
+    EXPECT_DOUBLE_EQ(r.averageValue("bank.3.occupancy"), 0.5);
+    EXPECT_DOUBLE_EQ(r.gaugeValue("bank.3.nmax"), 4.0);
+}
+
+TEST(StatsRegistry, DumpSectionsInFixedOrder)
+{
+    // Counters, then averages, then gauges, then histograms — legacy
+    // dumps (counters + averages only) must stay byte-stable, so the
+    // new sections always trail.
+    StatsRegistry r;
+    r.histogram("ahist").record(1);
+    r.gauge("agauge").set(1.0);
+    r.average("aavg").record(1.0);
+    r.counter("zcounter").inc();
+    std::ostringstream os;
+    r.dump(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find("zcounter"), out.find("aavg"));
+    EXPECT_LT(out.find("aavg"), out.find("agauge"));
+    EXPECT_LT(out.find("agauge"), out.find("ahist"));
 }
 
 } // namespace

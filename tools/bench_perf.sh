@@ -28,9 +28,11 @@
 #     espnuca-sim checkpoint pair measuring the warmup fast-forward
 #     speedup ("sweep" section; the warm restore must be >= 2x).
 #
-# Perf guard: if the previous BENCH_core.json exists, the script fails
-# when ESP-NUCA ns/tx regresses more than 15 % against it. Export
-# ESPNUCA_SKIP_PERF_GUARD=1 to accept an intentional regression.
+# Perf guard: if the previous BENCH_core.json exists, the new document
+# is diffed against it with `espnuca-report --check --threshold 15
+# --only protocol.esp_nuca` and the script fails when ESP-NUCA ns/tx
+# regresses beyond the threshold. Export ESPNUCA_SKIP_PERF_GUARD=1 to
+# accept an intentional regression.
 #
 # Output schema (BENCH_core.json):
 #   { "event_kernel": { "wheel": {events_per_sec, ns_per_event},
@@ -108,7 +110,7 @@ FIG07_END=$(date +%s.%N)
 
 echo "== bench_perf: sharded sweep (2 shards + merge, byte compare) =="
 cmake --build build-release -j --target espnuca-sim espnuca-merge \
-    > /dev/null
+    espnuca-report > /dev/null
 SWEEP_DIR=$(mktemp -d)
 sweep_fig07() {
     env ESPNUCA_OPS=8000 ESPNUCA_RUNS=2 ESPNUCA_JOBS=2 \
@@ -137,12 +139,15 @@ warm_sim > "$CKPT_DIR/warm.json"
 WARM_END=$(date +%s.%N)
 cmp "$CKPT_DIR/cold.json" "$CKPT_DIR/warm.json"
 
-python3 - "$MICRO_JSON" "$OUT" "$FIG07_JSON" \
+# The new document lands in a temp file first: the regression guard
+# below diffs it against the committed baseline before it replaces it.
+NEW_JSON=$(mktemp)
+python3 - "$MICRO_JSON" "$NEW_JSON" "$FIG07_JSON" \
     "$FIG07_START" "$FIG07_END" "$OBSOFF_JSON" \
     "$PROTO_JSON" "$AUDITON_JSON" "$BREAKDOWN_JSON" \
     "$SWEEP_START" "$SWEEP_END" "$COLD_START" "$COLD_END" \
     "$WARM_END" <<'PY'
-import json, os, sys
+import json, sys
 
 (micro_path, out_path, fig07_path, t0, t1, obsoff_path,
  proto_path, auditon_path, breakdown_path,
@@ -157,16 +162,6 @@ with open(auditon_path) as f:
     auditon = json.load(f)
 with open(breakdown_path) as f:
     breakdown = json.load(f)
-
-# Committed baseline for the regression guard (absent on first run).
-baseline_esp_ns = None
-if os.path.exists(out_path):
-    try:
-        with open(out_path) as f:
-            baseline_esp_ns = (json.load(f)["protocol"]["esp_nuca"]
-                               ["ns_per_transaction"])
-    except (KeyError, ValueError):
-        baseline_esp_ns = None
 
 def mean_metrics(name, doc=None):
     for b in (doc or micro)["benchmarks"]:
@@ -263,22 +258,31 @@ if speedup < 2.0:
     raise SystemExit(f"sweep guard: warm restore only {speedup:.2f}x "
                      "over cold (need >= 2x)")
 
-# Regression guard: fail on >15 % ESP ns/tx regression vs the committed
-# baseline (ESPNUCA_SKIP_PERF_GUARD=1 accepts intentional changes).
-if baseline_esp_ns:
-    new_ns = proto_esp["ns_per_transaction"]
-    pct = 100.0 * (new_ns - baseline_esp_ns) / baseline_esp_ns
-    print(f"perf guard: esp_nuca {new_ns:.1f} ns/tx vs baseline "
-          f"{baseline_esp_ns:.1f} ns/tx ({pct:+.1f} %)")
-    if pct > 15.0 and os.environ.get("ESPNUCA_SKIP_PERF_GUARD") != "1":
-        raise SystemExit(
-            "perf guard: ESP-NUCA ns/tx regressed more than 15 % "
-            "(set ESPNUCA_SKIP_PERF_GUARD=1 to accept)")
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(json.dumps(report, indent=2))
 PY
+
+# Regression guard: diff against the committed baseline with
+# espnuca-report (missing metrics count as regressions too), scoped to
+# the coherence-engine hot path. ESPNUCA_SKIP_PERF_GUARD=1 accepts an
+# intentional regression; first runs have no baseline to guard against.
+if [ -f "$OUT" ]; then
+    if ! ./build-release/tools/espnuca-report \
+        --baseline "$OUT" --new "$NEW_JSON" \
+        --check --threshold 15 --only protocol.esp_nuca; then
+        if [ "${ESPNUCA_SKIP_PERF_GUARD:-}" != "1" ]; then
+            echo "perf guard: ESP-NUCA regressed beyond 15 % vs $OUT" \
+                "(set ESPNUCA_SKIP_PERF_GUARD=1 to accept)" >&2
+            rm -f "$NEW_JSON"
+            exit 1
+        fi
+        echo "perf guard: regression accepted (ESPNUCA_SKIP_PERF_GUARD=1)"
+    fi
+fi
+mv "$NEW_JSON" "$OUT"
+
 rm -f "$MICRO_JSON" "$OBSOFF_JSON" "$PROTO_JSON" "$AUDITON_JSON" \
     "$BREAKDOWN_JSON"
 rm -rf "$SWEEP_DIR" "$CKPT_DIR"

@@ -76,6 +76,85 @@ if(NOT r EQUAL 0)
             "merged document differs from the unsupervised run")
 endif()
 
+# --- run ledger + live telemetry (observability build only) ----------
+# Random kills landed above; the ledger must still be complete: every
+# line CRC-valid (at most a torn tail per writer), and every
+# point-start resolved by a terminal event somewhere in the fleet.
+if(OBS AND PYTHON)
+    file(GLOB shard_ledgers ${WORKDIR}/points/events-shard-*.jsonl)
+    if(NOT EXISTS ${WORKDIR}/points/events-supervisor.jsonl)
+        message(FATAL_ERROR "supervisor ledger missing")
+    endif()
+    if(shard_ledgers STREQUAL "")
+        message(FATAL_ERROR "no shard ledgers written")
+    endif()
+    execute_process(
+        COMMAND ${PYTHON} ${CHECKER} --ledger
+                ${WORKDIR}/points/events-supervisor.jsonl
+                ${shard_ledgers}
+        RESULT_VARIABLE r
+        OUTPUT_VARIABLE ledger_out
+    )
+    if(NOT r EQUAL 0)
+        message(FATAL_ERROR "ledger validation failed: ${r}")
+    endif()
+
+    # espnuca-top totals must agree with the merged bench document:
+    # every grid point terminal, none quarantined, chaos kills visible.
+    execute_process(
+        COMMAND ${TOP} --results-dir ${WORKDIR}/points --json
+        RESULT_VARIABLE r
+        OUTPUT_VARIABLE top_json
+    )
+    if(NOT r EQUAL 0)
+        message(FATAL_ERROR "espnuca-top failed: ${r}")
+    endif()
+    string(JSON top_total GET "${top_json}" totals total)
+    string(JSON top_done GET "${top_json}" totals done)
+    string(JSON top_terminal GET "${top_json}" totals points_terminal)
+    string(JSON top_quarantined GET "${top_json}" totals quarantined)
+    string(JSON top_kills GET "${top_json}" supervisor chaos_kills)
+    file(READ ${WORKDIR}/merged.json merged_doc)
+    string(JSON merged_points LENGTH "${merged_doc}" points)
+    if(NOT top_total EQUAL merged_points)
+        message(FATAL_ERROR
+                "espnuca-top total ${top_total} != merged document's "
+                "${merged_points} point(s)")
+    endif()
+    if(NOT top_done EQUAL top_total OR NOT top_terminal EQUAL top_total)
+        message(FATAL_ERROR
+                "espnuca-top reports an unfinished swarm: done "
+                "${top_done}, terminal ${top_terminal} of ${top_total}")
+    endif()
+    if(NOT top_quarantined EQUAL 0)
+        message(FATAL_ERROR
+                "chaos kills leaked into quarantine: "
+                "${top_quarantined}")
+    endif()
+    if(top_kills EQUAL 0)
+        message(FATAL_ERROR
+                "supervisor ledger recorded no chaos kills")
+    endif()
+
+    # Swarm Perfetto timeline: supervisor + shard tracks, point slices.
+    execute_process(
+        COMMAND ${TOP} --results-dir ${WORKDIR}/points
+                --perfetto ${WORKDIR}/swarm.json
+        RESULT_VARIABLE r
+        OUTPUT_QUIET
+    )
+    if(NOT r EQUAL 0)
+        message(FATAL_ERROR "swarm timeline export failed: ${r}")
+    endif()
+    execute_process(
+        COMMAND ${PYTHON} ${CHECKER} --swarm ${WORKDIR}/swarm.json
+        RESULT_VARIABLE r
+    )
+    if(NOT r EQUAL 0)
+        message(FATAL_ERROR "swarm timeline validation failed: ${r}")
+    endif()
+endif()
+
 # --- machine-readable merge exit codes -------------------------------
 # Find one real point file (16-hex-digit stem; heartbeats and the
 # quarantine file share the directory).

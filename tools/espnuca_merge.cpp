@@ -263,6 +263,23 @@ main(int argc, char **argv)
             w.endObject();
         }
         w.endArray();
+        // Roll-up for tooling that only wants the damage report. The
+        // per-point spans are opaque here (re-framed verbatim), so the
+        // count of points carrying crash-isolated run failures comes
+        // from their serialized shape.
+        std::size_t withFailedRuns = 0;
+        for (const auto &[idx, rec] : byIndex)
+            if (rec.point.find("\"failures\":[") != std::string::npos)
+                ++withFailedRuns;
+        w.key("summary").beginObject();
+        w.field("points_merged",
+                static_cast<std::uint64_t>(byIndex.size()));
+        w.field("points_total", total);
+        w.field("quarantined",
+                static_cast<std::uint64_t>(excused.size()));
+        w.field("points_with_failed_runs",
+                static_cast<std::uint64_t>(withFailedRuns));
+        w.endObject();
     }
     w.endObject();
 

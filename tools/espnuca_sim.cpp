@@ -303,11 +303,17 @@ runSystem(const Options &o, System &sys, bool traced)
         sys.enableMetrics(o.metricsInterval);
     if (traced)
         sys.enableTracing(o.traceMask);
-    const RunResult r = sys.run();
+    RunResult r = sys.run();
     if (traced)
         sys.exportTrace(o.traceOut);
-    if (o.stats)
+    if (o.stats) {
         sys.dumpStats(std::cout);
+        // Machine-readable twin of the dump (extended collection), for
+        // the "stats" block of JSON output.
+        StatsRegistry ext;
+        sys.collectStats(ext, true);
+        r.statsJson = statsToJson(ext);
+    }
     return r;
 }
 
@@ -342,7 +348,7 @@ runOnce(const Options &o, std::uint64_t seed, const FaultPlan *plan,
         const RunResult r = simulatePhased(
             cfg, o.arch, o.workload, o.ops, seed, o.warmup, plan,
             checkpointPath(cliConfig(o), o.arch, o.workload, seed),
-            nullptr, o.stats ? &stats : nullptr);
+            nullptr, o.stats ? &stats : nullptr, o.metricsInterval);
         if (o.stats)
             std::cout << stats;
         return r;

@@ -24,4 +24,14 @@ execute_process(
 if(NOT chk_result EQUAL 0)
     message(FATAL_ERROR "trace validation failed: ${chk_result}")
 endif()
+
+# The same trace must carry the epoch-telemetry counter tracks
+# (pid 5, ph=C): every series present with monotonic timestamps.
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} --counters ${WORKDIR}/trace.json
+    RESULT_VARIABLE chk_result
+)
+if(NOT chk_result EQUAL 0)
+    message(FATAL_ERROR "counter-track validation failed: ${chk_result}")
+endif()
 file(REMOVE_RECURSE ${WORKDIR})

@@ -114,13 +114,16 @@ class CooperativeCaching : public L2Org
     {
         // Victim class marks "already spilled once" (1-chance forwarding).
         const BlockInfo *e = proto().dir().find(evicted.addr);
-        const bool singlet = e == nullptr || e->l2Copies == 0;
+        const bool singlet = e == nullptr || e->l2Copies.none();
         if (evicted.cls == BlockClass::Victim || !singlet ||
             !rng_.chance(coopProb_)) {
             dropDisplaced(evicted, bank, t);
             return;
         }
-        // Choose a random peer tile.
+        // Choose a random peer tile, uniformly in core-id space (the
+        // CC proposal spills blindly; distance to the chosen peer is
+        // whatever the placement makes it, so this needs no change on
+        // non-paper meshes).
         CoreId peer = static_cast<CoreId>(
             rng_.below(cfg_.numCores - 1));
         if (peer >= c)

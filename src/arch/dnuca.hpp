@@ -2,14 +2,17 @@
  * @file
  * D-NUCA baseline ([13], used with the idealized perfect-search CMP
  * variant of [4] as the paper's Section 6.1 describes). A block is
- * pinned by its address to one mesh *column* of banks (its bankset);
- * within that column it can migrate vertically between the top-row and
- * bottom-row tiles toward its requesters, and shared data may hold one
- * copy per row (bounded replication). The search is idealized: the
- * requester goes straight to the bank holding the block, paying no
- * discovery traffic. Horizontal distance can never be optimized away —
- * the structural weakness the paper observes on private-heavy
- * workloads.
+ * pinned by its address to one *bankset* — a pair of tiles, one in
+ * each vertical half of the grid (on the paper's 4x3 placement the
+ * banksets are exactly the mesh columns); within its bankset it can
+ * migrate between the near-half and far-half tiles toward its
+ * requesters, and shared data may hold one copy per half (bounded
+ * replication). The tile pairing comes from Topology's placement, so
+ * the model runs unchanged on 16/32/64-core tiled grids. The search is
+ * idealized: the requester goes straight to the bank holding the
+ * block, paying no discovery traffic. Cross-bankset distance can never
+ * be optimized away — the structural weakness the paper observes on
+ * private-heavy workloads.
  */
 
 #ifndef ESPNUCA_ARCH_DNUCA_HPP_
@@ -36,23 +39,26 @@ class Dnuca : public L2Org
 
     std::string name() const override { return "d-nuca"; }
 
-    /** Mesh column this address's bankset lives in. */
+    /** Logical bankset (grid-half tile pair) this address lives in.
+     *  The shape comes from Topology's placement, not from hardcoded
+     *  4x3 column math; on the paper layout banksets ARE the mesh
+     *  columns, bit for bit. */
     std::uint32_t
     column(Addr a) const
     {
-        const unsigned col_bits = exactLog2(cfg_.numCores / 2);
+        const unsigned col_bits = exactLog2(proto().topo().numBanksets());
         return static_cast<std::uint32_t>(
             bits(a, cfg_.blockOffsetBits(), col_bits));
     }
 
-    /** The bankset member in the top- or bottom-row tile. */
+    /** The bankset member in the top- or bottom-half tile. */
     BankId
-    candidateBank(bool bottom_row, Addr a) const
+    candidateBank(bool bottom_half, Addr a) const
     {
-        const unsigned col_bits = exactLog2(cfg_.numCores / 2);
+        const Topology &topo = proto().topo();
+        const unsigned col_bits = exactLog2(topo.numBanksets());
         const unsigned pos_bits = exactLog2(cfg_.banksPerCore());
-        const CoreId tile = column(a) + (bottom_row ? cfg_.numCores / 2
-                                                    : 0);
+        const CoreId tile = topo.banksetTile(bottom_half, column(a));
         // remap(): a dead bank's bankset member folds onto its fault
         // remap target, like every other organization's bank functions.
         return map_.remap(tile * cfg_.banksPerCore() +
@@ -61,11 +67,11 @@ class Dnuca : public L2Org
                                    pos_bits)));
     }
 
-    /** The bankset bank on the requesting core's row. */
+    /** The bankset bank on the requesting core's grid half. */
     BankId
     nearBank(CoreId c, Addr a) const
     {
-        return candidateBank(c >= cfg_.numCores / 2, a);
+        return candidateBank(proto().topo().coreHalf(c), a);
     }
 
     /** Set index used for bankset blocks. */
@@ -80,8 +86,8 @@ class Dnuca : public L2Org
         BankId target = kInvalidBank;
         if (e != nullptr) {
             const BankId near = nearBank(tx.core, tx.addr);
-            const BankId far =
-                candidateBank(tx.core < cfg_.numCores / 2, tx.addr);
+            const BankId far = candidateBank(
+                !proto().topo().coreHalf(tx.core), tx.addr);
             if (e->hasL2Copy(near))
                 target = near;
             else if (e->hasL2Copy(far))
@@ -125,7 +131,7 @@ class Dnuca : public L2Org
         BankId target = nearBank(c, blk.addr);
         if (e != nullptr && !e->hasL2Copy(target)) {
             const BankId far =
-                candidateBank(c < cfg_.numCores / 2, blk.addr);
+                candidateBank(!proto().topo().coreHalf(c), blk.addr);
             if (e->hasL2Copy(far))
                 target = far;
         }

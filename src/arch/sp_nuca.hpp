@@ -240,6 +240,10 @@ class SpNuca : public L2Org
         // manage dispatch on every event relocation). Every sibling
         // continuation fires exactly once — probes are never dropped —
         // so the last one to fire returns the slot.
+        // The broadcast fans out in core-id space (one probe per other
+        // core's private bank); hop costs come from the placement via
+        // bankNode(), so the search is placement-independent and runs
+        // unchanged on non-paper meshes.
         RemoteSearch *state = searchSlab_.acquire();
         state->remaining = cfg_.numCores - 1;
         state->pendingResponses = cfg_.numCores - 1;

@@ -10,6 +10,15 @@
  * A private request selects one of the 2^(n-p) banks nearest the
  * requesting core; the private tag is p bits longer than the shared tag
  * (both are stored in the same tag array sized for the private tag).
+ *
+ * Both interpretations live purely in (bank, set) id space: "nearest"
+ * means the banks *owned* by the core (b / banksPerCore == c), and the
+ * physical distance to them is whatever the PlacementMap makes it —
+ * the builders co-locate a core's bank cluster with its router, while
+ * explicit maps may place them anywhere. Nothing here changes when the
+ * mesh shape or placement does, which is exactly why sweep hashes key
+ * on the config digest (covering the layout knobs) rather than on any
+ * address-map property.
  */
 
 #ifndef ESPNUCA_CACHE_ADDRESS_MAP_HPP_

@@ -20,6 +20,7 @@
 #include "coherence/l1_cache.hpp"
 #include "common/config.hpp"
 #include "common/flat_map.hpp"
+#include "common/inline_bitset.hpp"
 #include "common/log.hpp"
 #include "common/snapshot.hpp"
 #include "common/types.hpp"
@@ -29,38 +30,45 @@ namespace espnuca {
 /** Who holds a block's owner token. */
 enum class OwnerKind : std::uint8_t { Memory, L1, L2Bank };
 
-/** Directory entry for one block currently on chip. */
+/** Per-block L1 holder set (one bit per L1Id = core*2 + i/d). */
+using L1HolderMask = InlineBitset<kMaxCores * 2>;
+/** Per-block L2 copy set (one bit per BankId). */
+using L2CopyMask = InlineBitset<kMaxL2Banks>;
+
+/** Directory entry for one block currently on chip. The hot scalar
+ *  fields lead so owner/status probes touch only the entry's first
+ *  bytes; the wide holder/copy masks (48 B at the 64-core/256-bank
+ *  caps) sit behind them. */
 struct BlockInfo
 {
-    std::uint32_t l1Holders = 0;  //!< bit per L1Id (core*2 + i/d)
-    std::uint64_t l2Copies = 0;   //!< bit per BankId
     OwnerKind ownerKind = OwnerKind::Memory;
-    std::uint32_t ownerIndex = 0; //!< L1Id or BankId when not Memory
-
     /** SP/ESP-NUCA sharing status: false = private, true = shared. */
     bool sharedStatus = false;
     /** The single accessor while the block is private. */
     CoreId firstAccessor = kInvalidCore;
+    std::uint32_t ownerIndex = 0; //!< L1Id or BankId when not Memory
+    L1HolderMask l1Holders;       //!< bit per L1Id (core*2 + i/d)
+    L2CopyMask l2Copies;          //!< bit per BankId
 
     bool
     onChip() const
     {
-        return l1Holders != 0 || l2Copies != 0;
+        return l1Holders.any() || l2Copies.any();
     }
 
-    bool hasL1Holder(L1Id id) const { return (l1Holders >> id) & 1u; }
-    bool hasL2Copy(BankId b) const { return (l2Copies >> b) & 1u; }
+    bool hasL1Holder(L1Id id) const { return l1Holders.test(id); }
+    bool hasL2Copy(BankId b) const { return l2Copies.test(b); }
 
     std::uint32_t
     numL1Holders() const
     {
-        return static_cast<std::uint32_t>(__builtin_popcount(l1Holders));
+        return l1Holders.count();
     }
 
     std::uint32_t
     numL2Copies() const
     {
-        return static_cast<std::uint32_t>(__builtin_popcountll(l2Copies));
+        return l2Copies.count();
     }
 };
 
@@ -133,7 +141,7 @@ class Directory
     addL1(Addr a, L1Id id, bool owner)
     {
         BlockInfo &e = entry(a);
-        e.l1Holders |= 1u << id;
+        e.l1Holders.set(id);
         if (owner) {
             e.ownerKind = OwnerKind::L1;
             e.ownerIndex = id;
@@ -147,7 +155,7 @@ class Directory
     {
         BlockInfo &e = entry(a);
         ESP_ASSERT(e.hasL1Holder(id), "removing a non-holder L1");
-        e.l1Holders &= ~(1u << id);
+        e.l1Holders.clear(id);
         if (e.ownerKind == OwnerKind::L1 && e.ownerIndex == id) {
             e.ownerKind = OwnerKind::Memory;
             e.ownerIndex = 0;
@@ -162,7 +170,7 @@ class Directory
     {
         BlockInfo &e = entry(a);
         ESP_ASSERT(!e.hasL2Copy(b), "bank already holds a copy");
-        e.l2Copies |= std::uint64_t{1} << b;
+        e.l2Copies.set(b);
         if (owner) {
             e.ownerKind = OwnerKind::L2Bank;
             e.ownerIndex = b;
@@ -174,7 +182,7 @@ class Directory
     {
         BlockInfo &e = entry(a);
         ESP_ASSERT(e.hasL2Copy(b), "removing a non-copy bank");
-        e.l2Copies &= ~(std::uint64_t{1} << b);
+        e.l2Copies.clear(b);
         if (e.ownerKind == OwnerKind::L2Bank && e.ownerIndex == b) {
             e.ownerKind = OwnerKind::Memory;
             e.ownerIndex = 0;
@@ -189,8 +197,8 @@ class Directory
         BlockInfo &e = entry(a);
         ESP_ASSERT(e.hasL2Copy(from), "moving from a non-copy bank");
         ESP_ASSERT(!e.hasL2Copy(to), "destination already holds a copy");
-        e.l2Copies &= ~(std::uint64_t{1} << from);
-        e.l2Copies |= std::uint64_t{1} << to;
+        e.l2Copies.clear(from);
+        e.l2Copies.set(to);
         if (e.ownerKind == OwnerKind::L2Bank && e.ownerIndex == from)
             e.ownerIndex = to;
     }
@@ -282,8 +290,10 @@ class Directory
         w.u64(map_.size());
         for (const auto &[a, e] : map_) {
             w.u64(a);
-            w.u32(e.l1Holders);
-            w.u64(e.l2Copies);
+            for (std::uint32_t k = 0; k < L1HolderMask::kWords; ++k)
+                w.u64(e.l1Holders.word(k));
+            for (std::uint32_t k = 0; k < L2CopyMask::kWords; ++k)
+                w.u64(e.l2Copies.word(k));
             w.u8(static_cast<std::uint8_t>(e.ownerKind));
             w.u32(e.ownerIndex);
             w.b(e.sharedStatus);
@@ -299,8 +309,10 @@ class Directory
         for (std::uint64_t i = 0; i < n; ++i) {
             const Addr a = r.u64();
             BlockInfo &e = map_[a];
-            e.l1Holders = r.u32();
-            e.l2Copies = r.u64();
+            for (std::uint32_t k = 0; k < L1HolderMask::kWords; ++k)
+                e.l1Holders.setWord(k, r.u64());
+            for (std::uint32_t k = 0; k < L2CopyMask::kWords; ++k)
+                e.l2Copies.setWord(k, r.u64());
             e.ownerKind = static_cast<OwnerKind>(r.u8());
             e.ownerIndex = r.u32();
             e.sharedStatus = r.b();

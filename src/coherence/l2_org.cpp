@@ -18,15 +18,15 @@ L2Org::invalidateAllL2Copies(Addr a)
         return 0;
     // Snapshot the copy mask before the removals mutate the entry; the
     // ascending bit walk preserves the old target-list order.
-    const std::uint64_t targets = e->l2Copies;
-    for (std::uint64_t m = targets; m != 0; m &= m - 1) {
-        const BankId b = static_cast<BankId>(__builtin_ctzll(m));
+    const L2CopyMask targets = e->l2Copies;
+    targets.forEachSet([&](std::uint32_t bit) {
+        const BankId b = static_cast<BankId>(bit);
         const auto [set, way] = findCopy(b, a);
         ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
         banks_[b]->invalidate(set, way);
         d.removeL2(a, b);
-    }
-    return static_cast<std::uint32_t>(__builtin_popcountll(targets));
+    });
+    return targets.count();
 }
 
 InsertResult

@@ -31,10 +31,9 @@ Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
     // Invalidate every other L1 holder. The holder set is snapshot as
     // a bitmask (the drops below mutate the live entry) and walked in
     // ascending L1Id order, matching the old target-list iteration.
-    const std::uint32_t l1_targets =
-        e->l1Holders & ~(std::uint32_t{1} << self);
-    for (std::uint32_t m = l1_targets; m != 0; m &= m - 1) {
-        const L1Id h = static_cast<L1Id>(__builtin_ctz(m));
+    const L1HolderMask l1_targets = e->l1Holders.withCleared(self);
+    l1_targets.forEachSet([&](std::uint32_t bit) {
+        const L1Id h = static_cast<L1Id>(bit);
         const NodeId n = topo_.coreNode(coreOfL1(h));
         const Cycle t_inv =
             mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
@@ -43,13 +42,14 @@ Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
         last_ack = std::max(last_ack, t_ack);
         ++invalsSent_;
         dropL1Copy(tx.addr, h);
-    }
+    });
 
     // Invalidate every L2 copy (tokens flow to the writer).
     e = dir_.find(tx.addr); // may have been released above
-    const std::uint64_t l2_targets = e != nullptr ? e->l2Copies : 0;
-    for (std::uint64_t m = l2_targets; m != 0; m &= m - 1) {
-        const BankId b = static_cast<BankId>(__builtin_ctzll(m));
+    const L2CopyMask l2_targets =
+        e != nullptr ? e->l2Copies : L2CopyMask{};
+    l2_targets.forEachSet([&](std::uint32_t bit) {
+        const BankId b = static_cast<BankId>(bit);
         const NodeId n = topo_.bankNode(b);
         const Cycle t_inv =
             mesh_.deliveryTime(home, n, cfg_.ctrlMsgBytes, t_ordering);
@@ -62,7 +62,7 @@ Protocol::collectTokens(Transaction &tx, Cycle t_ordering)
         ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
         org_.bank(b).invalidate(set, way);
         dir_.removeL2(tx.addr, b);
-    }
+    });
     return last_ack;
 }
 
@@ -75,21 +75,21 @@ Protocol::sweepForWrite(Transaction &tx)
     const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
     // Snapshot the holder masks before mutating the live entry; the
     // ascending bit walk preserves the old target-list order.
-    const std::uint32_t l1_targets =
-        e->l1Holders & ~(std::uint32_t{1} << self);
-    for (std::uint32_t m = l1_targets; m != 0; m &= m - 1)
-        dropL1Copy(tx.addr, static_cast<L1Id>(__builtin_ctz(m)));
+    const L1HolderMask l1_targets = e->l1Holders.withCleared(self);
+    l1_targets.forEachSet([&](std::uint32_t bit) {
+        dropL1Copy(tx.addr, static_cast<L1Id>(bit));
+    });
     e = dir_.find(tx.addr);
     if (e == nullptr)
         return;
-    const std::uint64_t l2_targets = e->l2Copies;
-    for (std::uint64_t m = l2_targets; m != 0; m &= m - 1) {
-        const BankId b = static_cast<BankId>(__builtin_ctzll(m));
+    const L2CopyMask l2_targets = e->l2Copies;
+    l2_targets.forEachSet([&](std::uint32_t bit) {
+        const BankId b = static_cast<BankId>(bit);
         const auto [set, way] = org_.findCopy(b, tx.addr);
         ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
         org_.bank(b).invalidate(set, way);
         dir_.removeL2(tx.addr, b);
-    }
+    });
 }
 
 void
@@ -145,7 +145,7 @@ Protocol::fillRequesterL1(Transaction &tx)
     dir_.addL1(tx.addr, id, owner);
     if (tx.isWrite) {
         const BlockInfo *e = dir_.find(tx.addr);
-        ESP_ASSERT(e && e->numL1Holders() == 1 && e->l2Copies == 0,
+        ESP_ASSERT(e && e->numL1Holders() == 1 && e->l2Copies.none(),
                    "writer is not the sole holder");
         dir_.setOwner(tx.addr, OwnerKind::L1, id);
     }

@@ -70,7 +70,7 @@ Protocol::access(CoreId c, AccessType t, Addr a, OpDone done)
             ESP_ASSERT(e != nullptr, "L1 copy without directory entry");
             serviceable = e->ownerKind == OwnerKind::L1 &&
                           e->ownerIndex == id && e->numL1Holders() == 1 &&
-                          e->l2Copies == 0;
+                          e->l2Copies.none();
         }
         if (serviceable) {
             l1.touch(a, way);
@@ -158,7 +158,7 @@ Protocol::begin(Transaction *tx)
         const BlockInfo *e = dir_.find(tx->addr);
         if (e != nullptr && e->ownerKind == OwnerKind::L1 &&
             e->ownerIndex == self && e->numL1Holders() == 1 &&
-            e->l2Copies == 0) {
+            e->l2Copies.none()) {
             ++l1Hits_;
             tx->level = ServiceLevel::LocalL1;
             transition(*tx, TxState::HitReturn, t0);

@@ -113,7 +113,7 @@ Protocol::handleL2Miss(Transaction &tx, NodeId last_node, Cycle t)
     const L1Id self = l1IdOf(tx.core, tx.type == AccessType::Ifetch);
     L1Id source = 0;
     bool have_source = false;
-    if (e && e->l1Holders != 0) {
+    if (e && e->l1Holders.any()) {
         if (e->ownerKind == OwnerKind::L1 && e->ownerIndex != self) {
             source = static_cast<L1Id>(e->ownerIndex);
             have_source = true;
@@ -121,18 +121,17 @@ Protocol::handleL2Miss(Transaction &tx, NodeId last_node, Cycle t)
             // Nearest holder to the requester supplies the data; the
             // ascending bit walk keeps the old loop's tie-breaking.
             std::uint32_t best_hops = ~0u;
-            for (std::uint32_t m = e->l1Holders &
-                                   ~(std::uint32_t{1} << self);
-                 m != 0; m &= m - 1) {
-                const L1Id h = static_cast<L1Id>(__builtin_ctz(m));
-                const std::uint32_t d = topo_.hops(
-                    tx.reqNode, topo_.coreNode(coreOfL1(h)));
-                if (d < best_hops) {
-                    best_hops = d;
-                    source = h;
-                    have_source = true;
-                }
-            }
+            e->l1Holders.withCleared(self).forEachSet(
+                [&](std::uint32_t bit) {
+                    const L1Id h = static_cast<L1Id>(bit);
+                    const std::uint32_t d = topo_.hops(
+                        tx.reqNode, topo_.coreNode(coreOfL1(h)));
+                    if (d < best_hops) {
+                        best_hops = d;
+                        source = h;
+                        have_source = true;
+                    }
+                });
         }
     }
 
@@ -157,19 +156,19 @@ Protocol::handleL2Miss(Transaction &tx, NodeId last_node, Cycle t)
     // Directory-guided remote L2 copy (e.g. a peer tile holding a spilled
     // or replicated block in the private-cache organizations): the home
     // directory forwards the request to the nearest holding bank.
-    if (e != nullptr && e->l2Copies != 0) {
+    if (e != nullptr && e->l2Copies.any()) {
         transition(tx, TxState::HitReturn, t_home);
         BankId src_bank = kInvalidBank;
         std::uint32_t best_hops = ~0u;
-        for (std::uint64_t m = e->l2Copies; m != 0; m &= m - 1) {
-            const BankId b = static_cast<BankId>(__builtin_ctzll(m));
+        e->l2Copies.forEachSet([&](std::uint32_t bit) {
+            const BankId b = static_cast<BankId>(bit);
             const std::uint32_t d =
                 topo_.hops(tx.reqNode, topo_.bankNode(b));
             if (d < best_hops) {
                 best_hops = d;
                 src_bank = b;
             }
-        }
+        });
         const auto [set, way] = org_.findCopy(src_bank, tx.addr);
         ESP_ASSERT(way != kNoWay, "directory bit without a bank copy");
         const NodeId bank_node = topo_.bankNode(src_bank);

@@ -124,7 +124,7 @@ class TxAudit
                                "entry (tx " +
                                std::to_string(id) + ")");
         if (e->ownerKind != OwnerKind::L1 || e->ownerIndex != self_l1 ||
-            e->numL1Holders() != 1 || e->l2Copies != 0)
+            e->numL1Holders() != 1 || e->l2Copies.any())
             throw TxAuditError(
                 "write done but requester is not the sole owner (tx " +
                 std::to_string(id) + ": holders " +

@@ -78,7 +78,10 @@ inline constexpr std::uint32_t kSnapshotMagic = 0x4E505345; // "ESPN"
 // v3: body ends with a metrics-sampler section (presence flag +
 //     captured warmup timeseries), so restored runs merge a complete
 //     series across the fast-forward boundary.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+// v4: the identity header carries the placement digest (mesh shape +
+//     every core/bank/controller assignment), so a checkpoint can
+//     never be restored under a different physical layout.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /** Identity a snapshot is bound to; all fields must match on restore. */
 struct SnapshotIdentity
@@ -89,6 +92,7 @@ struct SnapshotIdentity
     std::uint64_t warmOps = 0;     //!< warmup references per core
     std::uint64_t configDigest = 0;
     std::uint64_t faultDigest = 0;
+    std::uint64_t placeDigest = 0; //!< resolved PlacementMap digest
 
     bool
     operator==(const SnapshotIdentity &o) const
@@ -96,7 +100,8 @@ struct SnapshotIdentity
         return arch == o.arch && workload == o.workload &&
                seed == o.seed && warmOps == o.warmOps &&
                configDigest == o.configDigest &&
-               faultDigest == o.faultDigest;
+               faultDigest == o.faultDigest &&
+               placeDigest == o.placeDigest;
     }
 };
 
@@ -167,6 +172,7 @@ class SnapshotWriter
         u64(id.warmOps);
         u64(id.configDigest);
         u64(id.faultDigest);
+        u64(id.placeDigest);
     }
 
     /**
@@ -303,6 +309,7 @@ class SnapshotReader
         id.warmOps = u64();
         id.configDigest = u64();
         id.faultDigest = u64();
+        id.placeDigest = u64();
         return id;
     }
 

@@ -34,6 +34,9 @@ inline constexpr CoreId kInvalidCore = static_cast<CoreId>(-1);
 /** Sentinel for "no bank". */
 inline constexpr BankId kInvalidBank = static_cast<BankId>(-1);
 
+/** Sentinel for "no node" (unassigned placement slot). */
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
 /** Sentinel address. */
 inline constexpr Addr kInvalidAddr = static_cast<Addr>(-1);
 

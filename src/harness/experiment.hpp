@@ -54,6 +54,10 @@ struct DataPoint
 {
     std::string arch;
     std::string workload;
+    /** Point key when it differs from the default arch/workload key —
+     *  labels custom-config grids (e.g. fig11's "esp-nuca@32c") in
+     *  bench documents. Empty for default-keyed points. */
+    std::string key;
     RunningStats throughput;
     RunningStats avgIpc;
     RunningStats avgAccessTime;
@@ -103,6 +107,11 @@ struct ExperimentConfig
      *                      (default: hardware concurrency; 1 = serial)
      *   ESPNUCA_CKPT_DIR — warmup checkpoint cache directory (phased
      *                      run mode; empty = legacy continuous warmup)
+     * plus two layout knobs mirroring espnuca-sim's --mesh/--placement
+     * (both alter the config digest, so sweeps under different layouts
+     * never merge):
+     *   ESPNUCA_MESH      — mesh dimensions as CxR
+     *   ESPNUCA_PLACEMENT — builder name or espnuca-placement-v1 text
      */
     static ExperimentConfig
     fromEnv(std::uint64_t default_ops = 60'000,
@@ -118,6 +127,18 @@ struct ExperimentConfig
                 std::strtoul(s, nullptr, 10));
         if (const char *s = std::getenv("ESPNUCA_CKPT_DIR"))
             e.checkpointDir = s;
+        if (const char *s = std::getenv("ESPNUCA_PLACEMENT"))
+            e.system.placement = s;
+        if (const char *s = std::getenv("ESPNUCA_MESH")) {
+            const std::string v(s);
+            const auto x = v.find('x');
+            if (x != std::string::npos) {
+                e.system.meshCols = static_cast<std::uint32_t>(
+                    std::strtoul(v.substr(0, x).c_str(), nullptr, 10));
+                e.system.meshRows = static_cast<std::uint32_t>(
+                    std::strtoul(v.substr(x + 1).c_str(), nullptr, 10));
+            }
+        }
         return e;
     }
 
@@ -472,6 +493,8 @@ class ExperimentMatrix
             }
             points_.push_back(
                 foldOutcomes(en.arch, en.workload, outs));
+            if (en.key != defaultKey(en.arch, en.workload))
+                points_.back().key = en.key;
         }
     }
 
@@ -501,12 +524,15 @@ class ExperimentMatrix
 
     const ExperimentConfig &config() const { return base_; }
 
-  private:
+    /** The implicit key of an (arch, workload) point (unit separator —
+     *  never collides with user keys). */
     static std::string
     defaultKey(const std::string &arch, const std::string &workload)
     {
         return arch + '\x1f' + workload;
     }
+
+  private:
 
     ExperimentConfig base_;
     std::vector<Entry> entries_;

@@ -18,6 +18,7 @@
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "harness/stats_json.hpp"
+#include "net/placement.hpp"
 #include "obs/metrics_sampler.hpp"
 
 namespace espnuca {
@@ -120,6 +121,11 @@ writePointJson(JsonWriter &w, const DataPoint &p)
     w.beginObject();
     w.field("arch", p.arch);
     w.field("workload", p.workload);
+    // Conditional-emit (like the layout fields): only custom-keyed
+    // points carry a label, so default-keyed documents — including
+    // the frozen fig07 golden — keep their historical bytes.
+    if (!p.key.empty())
+        w.field("key", p.key);
     auto stat = [&w](const char *name, const RunningStats &s) {
         w.key(name).beginObject();
         w.field("mean", s.mean());
@@ -209,6 +215,18 @@ writeConfigJson(JsonWriter &w, const ExperimentConfig &cfg)
     w.field("cores", static_cast<std::uint64_t>(cfg.system.numCores));
     w.field("l2_bytes", cfg.system.l2SizeBytes);
     w.field("l2_banks", static_cast<std::uint64_t>(cfg.system.l2Banks));
+    // Layout fields appear only when overridden (conditional-emit
+    // pattern: documents for the paper configuration stay byte-
+    // identical with pre-placement builds). The resolved grid and the
+    // placement digest make mixed-layout merge attempts visible — and
+    // refusable — at the config-span level.
+    if (!cfg.system.placementIsDefault()) {
+        const PlacementMap place = PlacementMap::forConfig(cfg.system);
+        w.field("mesh", std::to_string(place.cols) + "x" +
+                            std::to_string(place.rows));
+        w.field("placement", place.name);
+        w.field("placement_digest", digestHex(place.digest()));
+    }
     w.endObject();
 }
 

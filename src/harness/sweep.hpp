@@ -690,8 +690,10 @@ runSweep(ExperimentMatrix &m, const std::string &bench, int argc,
         writeHeartbeat(cli.heartbeatPath, hb);
         const std::uint64_t started = ledgerWallMs();
         ledger.pointEvent("point-start", h, i, e.arch, e.workload);
-        const DataPoint p = runPointParallel(
+        DataPoint p = runPointParallel(
             e.cfg, e.arch, e.workload, pool ? &*pool : nullptr);
+        if (e.key != ExperimentMatrix::defaultKey(e.arch, e.workload))
+            p.key = e.key;
         PointRecord rec;
         rec.bench = bench;
         rec.hash = h;

@@ -25,6 +25,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/watchdog.hpp"
+#include "net/placement.hpp"
 #include "obs/metrics_sampler.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_buffer.hpp"
@@ -710,6 +711,16 @@ systemConfigDigest(const SystemConfig &cfg)
     w.u32(cfg.explorerSamples);
     w.u32(cfg.monitorPeriod);
     w.b(cfg.emaBatch);
+    // Layout knobs joined the config after the digest format froze:
+    // they are appended only when non-default, so every paper-config
+    // digest (sweep point hashes, snapshot identities, provenance
+    // JSON) keeps its historical value, while any --mesh/--placement
+    // override perturbs it.
+    if (!cfg.placementIsDefault()) {
+        w.u32(cfg.meshCols);
+        w.u32(cfg.meshRows);
+        w.str(cfg.placement);
+    }
     return fnv1a(w.bytes().data(), w.bytes().size());
 }
 
@@ -775,6 +786,7 @@ simulatePhased(const SystemConfig &cfg, const std::string &arch,
     id.warmOps = warm_total;
     id.configDigest = systemConfigDigest(cfg);
     id.faultDigest = faultPlanDigest(fault);
+    id.placeDigest = placementDigest(cfg);
 
     auto finishRun = [stats_dump](System &sys) {
         RunResult res = sys.run();

@@ -1,9 +1,11 @@
 /**
  * @file
- * Physical layout of the CMP (paper Figure 1a): a 4x3 mesh of routers.
- * The top row hosts P0..P3, the bottom row hosts P4..P7; each CPU router
- * also hosts that core's 4 nearest L2 banks. The central row's routers
- * host the memory controllers.
+ * Physical layout of the CMP. The grid shape and every core / bank /
+ * memory-controller assignment come from a PlacementMap (placement.hpp),
+ * so the paper's 4x3 mesh (Figure 1a: P0..P3 on the top row, P4..P7 on
+ * the bottom, controllers in the middle) is just the default builder —
+ * the same Topology serves 16/32/64-core tiled grids and explicit maps
+ * produced by espnuca-place.
  */
 
 #ifndef ESPNUCA_NET_TOPOLOGY_HPP_
@@ -11,10 +13,12 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "net/placement.hpp"
 
 namespace espnuca {
 
@@ -29,37 +33,42 @@ struct Coord
 
 /**
  * Static mapping between cores / banks / memory controllers and mesh
- * nodes. The mesh is `cols` x 3: row 0 holds the first half of the cores,
- * row 2 the second half, row 1 the memory controllers.
+ * nodes, backed by the config's PlacementMap. Construction throws
+ * PlacementError (with the offending knob named) for degenerate
+ * configurations; call SystemConfig::validate() first to diagnose
+ * without unwinding.
  */
 class Topology
 {
   public:
     explicit Topology(const SystemConfig &cfg)
-        : cfg_(cfg), cols_(cfg.numCores / 2), rows_(3)
+        : cfg_(cfg), place_(PlacementMap::forConfig(cfg))
     {
-        ESP_ASSERT(cfg.numCores % 2 == 0, "need an even core count");
-        // Memory controllers spread over the central row; on narrow
-        // meshes several channels may share one router.
-        ESP_ASSERT(cols_ >= 1, "degenerate mesh");
+        // Partition the cores into grid halves (ascending core id):
+        // D-NUCA's banksets pair a near-row tile with a far-row tile,
+        // which on the paper shape reproduces its column math exactly.
+        for (CoreId c = 0; c < cfg_.numCores; ++c)
+            (coreHalf(c) ? bottomHalf_ : topHalf_).push_back(c);
     }
 
-    std::uint32_t cols() const { return cols_; }
-    std::uint32_t rows() const { return rows_; }
-    std::uint32_t numNodes() const { return cols_ * rows_; }
+    std::uint32_t cols() const { return place_.cols; }
+    std::uint32_t rows() const { return place_.rows; }
+    std::uint32_t numNodes() const { return place_.numNodes(); }
+
+    const PlacementMap &placement() const { return place_; }
 
     NodeId
     nodeAt(Coord c) const
     {
-        ESP_ASSERT(c.x < cols_ && c.y < rows_, "coordinate out of grid");
-        return c.y * cols_ + c.x;
+        ESP_ASSERT(c.x < cols() && c.y < rows(), "coordinate out of grid");
+        return c.y * cols() + c.x;
     }
 
     Coord
     coordOf(NodeId n) const
     {
         ESP_ASSERT(n < numNodes(), "node out of grid");
-        return Coord{n % cols_, n / cols_};
+        return Coord{n % cols(), n / cols()};
     }
 
     /** Mesh node of a core's router (L1s and the core live here). */
@@ -67,20 +76,19 @@ class Topology
     coreNode(CoreId c) const
     {
         ESP_ASSERT(c < cfg_.numCores, "core id out of range");
-        const std::uint32_t row = (c < cols_) ? 0 : 2;
-        const std::uint32_t col = c % cols_;
-        return nodeAt(Coord{col, row});
+        return place_.coreNodes[c];
     }
 
-    /** Mesh node hosting an L2 bank (4 banks per CPU router). */
+    /** Mesh node hosting an L2 bank. */
     NodeId
     bankNode(BankId b) const
     {
         ESP_ASSERT(b < cfg_.l2Banks, "bank id out of range");
-        return coreNode(static_cast<CoreId>(b / cfg_.banksPerCore()));
+        return place_.bankNodes[b];
     }
 
-    /** The core whose private partition a bank belongs to. */
+    /** The core whose private partition a bank belongs to (logical
+     *  ownership; independent of where the placement puts the bank). */
     CoreId
     bankOwner(BankId b) const
     {
@@ -88,14 +96,12 @@ class Topology
         return static_cast<CoreId>(b / cfg_.banksPerCore());
     }
 
-    /** Mesh node of a memory controller (central row, spread over x). */
+    /** Mesh node of a memory controller. */
     NodeId
     memNode(std::uint32_t mc) const
     {
         ESP_ASSERT(mc < cfg_.memControllers, "controller out of range");
-        const std::uint32_t col =
-            mc * cols_ / cfg_.memControllers;
-        return nodeAt(Coord{col, 1});
+        return place_.memNodes[mc];
     }
 
     /** Manhattan hop distance between two nodes. */
@@ -108,12 +114,41 @@ class Topology
             std::abs(static_cast<int>(ca.y) - static_cast<int>(cb.y)));
     }
 
+    // -- Grid halves (D-NUCA bankset geometry) -------------------------
+
+    /** Which vertical half of the grid hosts this core (false = top).
+     *  On the paper shape this is exactly `c >= numCores/2`. */
+    bool
+    coreHalf(CoreId c) const
+    {
+        return coordOf(coreNode(c)).y * 2 >= rows();
+    }
+
+    /** Logical bankset count: one per (near, far) tile pair. */
+    std::uint32_t
+    numBanksets() const
+    {
+        return static_cast<std::uint32_t>(
+            topHalf_.size() < bottomHalf_.size() ? topHalf_.size()
+                                                 : bottomHalf_.size());
+    }
+
+    /** The j-th tile (core, in ascending id order) of a grid half. */
+    CoreId
+    banksetTile(bool bottom, std::uint32_t j) const
+    {
+        const std::vector<CoreId> &half = bottom ? bottomHalf_ : topHalf_;
+        ESP_ASSERT(j < half.size(), "bankset index out of range");
+        return half[j];
+    }
+
     const SystemConfig &config() const { return cfg_; }
 
   private:
     SystemConfig cfg_;
-    std::uint32_t cols_;
-    std::uint32_t rows_;
+    PlacementMap place_;
+    std::vector<CoreId> topHalf_;
+    std::vector<CoreId> bottomHalf_;
 };
 
 } // namespace espnuca

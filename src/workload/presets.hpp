@@ -249,11 +249,14 @@ makeWorkload(const std::string &name, const SystemConfig &cfg,
     } else if (name.size() > 2 &&
                name.compare(name.size() - 2, 2, "-4") == 0) {
         // Half rate: 4 instances on cores 0..3, system services on 4.
+        // On sub-8-core meshes the pattern truncates rather than
+        // indexing past the core vector.
         const std::string app = name.substr(0, name.size() - 2);
         const AppModel m = specModel(app);
-        for (CoreId c = 0; c < 4; ++c)
+        for (CoreId c = 0; c < 4 && c < cfg.numCores; ++c)
             w.cores[c] = fromApp(m, c, 1, ops_per_core, 0, 0.0);
-        w.cores[4] = systemServices(4, ops_per_core);
+        if (cfg.numCores > 4)
+            w.cores[4] = systemServices(4, ops_per_core);
     } else {
         // Hybrid "a-b": 4 instances of a on 0..3, 4 of b on 4..7.
         const auto dash = name.find('-');
@@ -263,9 +266,9 @@ makeWorkload(const std::string &name, const SystemConfig &cfg,
         const std::string b = name.substr(dash + 1);
         const AppModel ma = specModel(a);
         const AppModel mb = specModel(b);
-        for (CoreId c = 0; c < 4; ++c)
+        for (CoreId c = 0; c < 4 && c < cfg.numCores; ++c)
             w.cores[c] = fromApp(ma, c, 1, ops_per_core, 0, 0.0);
-        for (CoreId c = 4; c < 8; ++c)
+        for (CoreId c = 4; c < 8 && c < cfg.numCores; ++c)
             w.cores[c] = fromApp(mb, c, 2, ops_per_core, 0, 0.0);
     }
 

@@ -110,7 +110,7 @@ TEST_F(EspFixture, WriteInvalidatesReplicas)
     access(4, AccessType::Store, a);
     const BlockInfo *e = proto.dir().find(a);
     ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->l2Copies, 0u);
+    EXPECT_TRUE(e->l2Copies.none());
 }
 
 TEST_F(EspFixture, VictimCreatedWhenPrivateBlockDisplaced)

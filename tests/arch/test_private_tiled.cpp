@@ -46,7 +46,7 @@ TEST_F(PrivateFixture, NoL2AllocationOnFill)
     access(0, AccessType::Load, 0x4000);
     const BlockInfo *e = proto.dir().find(0x4000);
     ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->l2Copies, 0u); // only the L1 holds it
+    EXPECT_TRUE(e->l2Copies.none()); // only the L1 holds it
     EXPECT_EQ(e->ownerKind, OwnerKind::L1);
 }
 
@@ -92,7 +92,7 @@ TEST_F(PrivateFixture, WriteInvalidatesAllReplicas)
     access(3, AccessType::Store, 0x4000);
     const BlockInfo *e = proto.dir().find(0x4000);
     ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->l2Copies, 0u);
+    EXPECT_TRUE(e->l2Copies.none());
     EXPECT_EQ(e->numL1Holders(), 1u);
 }
 

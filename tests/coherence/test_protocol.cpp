@@ -107,7 +107,7 @@ TEST_F(ProtoFixture, WriteMakesSoleOwner)
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->numL1Holders(), 1u);
     EXPECT_TRUE(e->hasL1Holder(l1IdOf(1, false)));
-    EXPECT_EQ(e->l2Copies, 0u);
+    EXPECT_TRUE(e->l2Copies.none());
     EXPECT_EQ(e->ownerKind, OwnerKind::L1);
     EXPECT_FALSE(proto.l1(l1IdOf(0, false)).has(0x4000));
     EXPECT_FALSE(proto.l1(l1IdOf(3, false)).has(0x4000));
@@ -131,7 +131,7 @@ TEST_F(ProtoFixture, UpgradeCollectsTokens)
     EXPECT_EQ(d.level, ServiceLevel::LocalL1);
     EXPECT_GT(d.latency, cfg.l1Latency);
     const BlockInfo *e = proto.dir().find(0x4000);
-    EXPECT_EQ(e->l2Copies, 0u);
+    EXPECT_TRUE(e->l2Copies.none());
 }
 
 TEST_F(ProtoFixture, DirtyDataForwardedFromRemoteL1)

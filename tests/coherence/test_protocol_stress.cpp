@@ -108,8 +108,15 @@ TEST(StressDeterminism, SameSeedSameEndState)
         }
         rig.eq.run();
         std::uint64_t fp = rig.eq.now() * 1315423911ULL;
-        for (const auto &[addr, info] : rig.proto->dir().raw())
-            fp ^= addr * (info.l1Holders + 3) + info.l2Copies;
+        for (const auto &[addr, info] : rig.proto->dir().raw()) {
+            std::uint64_t holders = 0;
+            std::uint64_t copies = 0;
+            for (std::uint32_t k = 0; k < L1HolderMask::kWords; ++k)
+                holders = holders * 1000003ULL + info.l1Holders.word(k);
+            for (std::uint32_t k = 0; k < L2CopyMask::kWords; ++k)
+                copies = copies * 1000003ULL + info.l2Copies.word(k);
+            fp ^= addr * (holders + 3) + copies;
+        }
         return fp;
     };
     EXPECT_EQ(fingerprint(), fingerprint());

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * InlineBitset: the fixed-width holder masks behind the directory.
+ * The crucial frozen property is ascending-order iteration — the sweep
+ * walks' visit order is part of the byte-compared simulator behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/inline_bitset.hpp"
+
+namespace espnuca {
+namespace {
+
+TEST(InlineBitset, StartsEmpty)
+{
+    InlineBitset<128> b;
+    EXPECT_TRUE(b.none());
+    EXPECT_FALSE(b.any());
+    EXPECT_EQ(b.count(), 0u);
+    for (std::uint32_t i = 0; i < 128; ++i)
+        EXPECT_FALSE(b.test(i));
+}
+
+TEST(InlineBitset, SetTestClearAcrossWords)
+{
+    InlineBitset<256> b;
+    const std::vector<std::uint32_t> bits = {0, 1, 63, 64, 127, 128, 255};
+    for (std::uint32_t i : bits)
+        b.set(i);
+    EXPECT_EQ(b.count(), bits.size());
+    for (std::uint32_t i : bits)
+        EXPECT_TRUE(b.test(i)) << i;
+    EXPECT_FALSE(b.test(62));
+    EXPECT_FALSE(b.test(129));
+    b.clear(64);
+    EXPECT_FALSE(b.test(64));
+    EXPECT_EQ(b.count(), bits.size() - 1);
+}
+
+TEST(InlineBitset, ForEachSetAscendingAcrossWords)
+{
+    InlineBitset<192> b;
+    const std::vector<std::uint32_t> bits = {5, 63, 64, 100, 130, 191};
+    // Insert out of order; iteration must still ascend.
+    b.set(130);
+    b.set(5);
+    b.set(191);
+    b.set(64);
+    b.set(100);
+    b.set(63);
+    std::vector<std::uint32_t> seen;
+    b.forEachSet([&](std::uint32_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, bits);
+}
+
+TEST(InlineBitset, MatchesScalarWalkOrderInWordZero)
+{
+    // The old masks were scalars walked with `m &= m - 1`; on any
+    // single-word pattern the new walk must visit identically.
+    const std::uint64_t pattern = 0xdeadbeefcafe1234ULL;
+    std::vector<std::uint32_t> oldOrder;
+    for (std::uint64_t m = pattern; m != 0; m &= m - 1)
+        oldOrder.push_back(
+            static_cast<std::uint32_t>(__builtin_ctzll(m)));
+    InlineBitset<64> b;
+    b.setWord(0, pattern);
+    std::vector<std::uint32_t> newOrder;
+    b.forEachSet([&](std::uint32_t i) { newOrder.push_back(i); });
+    EXPECT_EQ(newOrder, oldOrder);
+}
+
+TEST(InlineBitset, WithClearedLeavesOriginalUntouched)
+{
+    InlineBitset<128> b;
+    b.set(3);
+    b.set(70);
+    const InlineBitset<128> c = b.withCleared(70);
+    EXPECT_TRUE(b.test(70));
+    EXPECT_FALSE(c.test(70));
+    EXPECT_TRUE(c.test(3));
+    // Clearing an unset bit is a no-op copy.
+    EXPECT_TRUE(b.withCleared(99) == b);
+}
+
+TEST(InlineBitset, EqualityAndWordAccess)
+{
+    InlineBitset<128> a, b;
+    EXPECT_TRUE(a == b);
+    a.set(127);
+    EXPECT_FALSE(a == b);
+    b.setWord(1, a.word(1));
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.word(1), std::uint64_t{1} << 63);
+    EXPECT_EQ(a.word(0), 0u);
+}
+
+} // namespace
+} // namespace espnuca

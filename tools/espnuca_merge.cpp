@@ -194,14 +194,20 @@ main(int argc, char **argv)
             config = rec.config;
             total = rec.total;
         }
+        // Grid identity first: a mixed-config directory (e.g. two
+        // sweeps under different --mesh/--placement layouts) is a grid
+        // mismatch even though the layout digest also perturbs the
+        // build span's config_digest.
+        if (rec.config != config || rec.total != total)
+            fail(kMergeGridMismatch, path,
+                 "produced from a different grid — refusing to merge"
+                 "\n  have: " +
+                     config + "\n  file: " + rec.config);
         if (rec.build != build)
             fail(kMergeBuildMismatch, path,
                  "produced by a different build — refusing to merge"
                  "\n  have: " +
                      build + "\n  file: " + rec.build);
-        if (rec.config != config || rec.total != total)
-            fail(kMergeGridMismatch, path,
-                 "produced from a different grid — refusing to merge");
         const std::uint64_t idx = rec.index;
         if (!byIndex.emplace(idx, std::move(rec)).second)
             fail(kMergeGridMismatch, path,

@@ -12,6 +12,7 @@
  * Overridable system parameters (Table 2 defaults otherwise):
  *   --l2-mb N  --banks N  --ways N  --mem-latency N  --cores N
  *   --window N  --mshrs N  --d N (monitor degradation shift)
+ *   --mesh CxR  --placement paper-4x3|tiled|@FILE (see net/placement.hpp)
  * Run control:
  *   --ops N  --seed N  --runs N  --jobs N  --warmup F  --json  --csv
  * Robustness:
@@ -117,6 +118,12 @@ usage(int code)
         "  --prof               collect wall-clock self-profiling\n"
         "  --l2-mb N --banks N --ways N --mem-latency N --cores N\n"
         "  --window N --mshrs N --d N\n"
+        "  --mesh CxR           mesh grid dimensions (default: let the\n"
+        "                       placement builder derive them)\n"
+        "  --placement SPEC     core/bank/controller placement:\n"
+        "                       paper-4x3 | tiled | @FILE with an\n"
+        "                       espnuca-placement-v1 map (e.g. from\n"
+        "                       espnuca-place)\n"
         "  --list-archs, --list-workloads, --help\n");
     std::exit(code);
 }
@@ -248,13 +255,56 @@ parse(int argc, char **argv)
         } else if (a == "--d") {
             o.system.degradationShift =
                 static_cast<std::uint32_t>(parseU64(next()));
+        } else if (a == "--mesh") {
+            const std::string v = next();
+            const std::size_t x = v.find('x');
+            if (x == std::string::npos) {
+                std::fprintf(stderr,
+                             "--mesh expects CxR (e.g. 8x4), got %s\n",
+                             v.c_str());
+                usage(2);
+            }
+            o.system.meshCols = static_cast<std::uint32_t>(
+                parseU64(v.substr(0, x).c_str()));
+            o.system.meshRows = static_cast<std::uint32_t>(
+                parseU64(v.substr(x + 1).c_str()));
+        } else if (a == "--placement") {
+            std::string v = next();
+            if (!v.empty() && v[0] == '@') {
+                // Inline the file's content: the config (and every
+                // digest derived from it) must cover the map itself,
+                // not a path that may point at different bytes later.
+                std::ifstream in(v.substr(1));
+                if (!in) {
+                    std::fprintf(stderr,
+                                 "--placement: cannot open %s\n",
+                                 v.c_str() + 1);
+                    std::exit(2);
+                }
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                v = ss.str();
+            }
+            o.system.placement = v;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
             usage(2);
         }
     }
-    if (!o.system.valid()) {
-        std::fprintf(stderr, "inconsistent system configuration\n");
+    // Structured diagnosis instead of an assert mid-construction: name
+    // the offending knob for arithmetic inconsistencies (validate())
+    // and for placement-content errors (forConfig()).
+    const std::string err = o.system.validate();
+    if (!err.empty()) {
+        std::fprintf(stderr, "inconsistent system configuration: %s\n",
+                     err.c_str());
+        std::exit(2);
+    }
+    try {
+        (void)PlacementMap::forConfig(o.system);
+    } catch (const PlacementError &e) {
+        std::fprintf(stderr, "inconsistent system configuration: %s\n",
+                     e.what());
         std::exit(2);
     }
     return o;

@@ -1,0 +1,94 @@
+# Sweep-integrity checks for the layout knobs: running the same bench
+# under a different placement must (a) move every point hash — sharded
+# artifacts can never collide across layouts — and (b) produce point
+# files that espnuca-merge refuses to combine with the default-layout
+# sweep (grid mismatch, exit 7), because the config section differs.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+set(env ${CMAKE_COMMAND} -E env
+    ESPNUCA_OPS=300 ESPNUCA_RUNS=1 ESPNUCA_JOBS=2
+    --unset=ESPNUCA_CKPT_DIR --unset=ESPNUCA_PLACEMENT
+    --unset=ESPNUCA_MESH)
+set(tiled_env ${CMAKE_COMMAND} -E env
+    ESPNUCA_OPS=300 ESPNUCA_RUNS=1 ESPNUCA_JOBS=2
+    ESPNUCA_PLACEMENT=tiled
+    --unset=ESPNUCA_CKPT_DIR --unset=ESPNUCA_MESH)
+
+# (a) Point hashes move when the placement (or mesh) changes.
+execute_process(
+    COMMAND ${env} ${BENCH} --list-points
+    RESULT_VARIABLE r
+    OUTPUT_VARIABLE default_points
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "--list-points (default) failed: ${r}")
+endif()
+execute_process(
+    COMMAND ${tiled_env} ${BENCH} --list-points
+    RESULT_VARIABLE r
+    OUTPUT_VARIABLE tiled_points
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "--list-points (tiled) failed: ${r}")
+endif()
+# Compare the hash column sets: no default-layout hash may survive.
+string(REGEX MATCHALL "[0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f] "
+       default_hashes "${default_points}")
+foreach(h ${default_hashes})
+    string(FIND "${tiled_points}" "${h}" found)
+    if(NOT found EQUAL -1)
+        message(FATAL_ERROR
+                "point hash ${h} unchanged by ESPNUCA_PLACEMENT=tiled")
+    endif()
+endforeach()
+list(LENGTH default_hashes nhashes)
+if(nhashes EQUAL 0)
+    message(FATAL_ERROR "--list-points produced no hashes to compare")
+endif()
+execute_process(
+    COMMAND ${env} ${CMAKE_COMMAND} -E env ESPNUCA_MESH=4x4
+            ${BENCH} --list-points
+    RESULT_VARIABLE r
+    OUTPUT_VARIABLE meshed_points
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "--list-points (meshed) failed: ${r}")
+endif()
+list(GET default_hashes 0 h0)
+string(FIND "${meshed_points}" "${h0}" found)
+if(NOT found EQUAL -1)
+    message(FATAL_ERROR "point hash ${h0} unchanged by ESPNUCA_MESH=4x4")
+endif()
+
+# (b) Mixed-placement point directories refuse to merge (exit 7).
+execute_process(
+    COMMAND ${env} ${BENCH} --shard 0/1 --results-dir ${WORKDIR}/points
+    RESULT_VARIABLE r
+    OUTPUT_QUIET
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "default-layout sweep failed: ${r}")
+endif()
+execute_process(
+    COMMAND ${tiled_env} ${BENCH} --shard 0/1
+            --results-dir ${WORKDIR}/points
+    RESULT_VARIABLE r
+    OUTPUT_QUIET
+)
+if(NOT r EQUAL 0)
+    message(FATAL_ERROR "tiled-layout sweep failed: ${r}")
+endif()
+execute_process(
+    COMMAND ${MERGE} --results-dir ${WORKDIR}/points
+            --out ${WORKDIR}/merged.json
+    RESULT_VARIABLE r
+    OUTPUT_QUIET
+    ERROR_VARIABLE merge_err
+)
+if(NOT r EQUAL 7)
+    message(FATAL_ERROR
+            "espnuca-merge accepted a mixed-placement directory "
+            "(exit ${r}, wanted 7/grid-mismatch): ${merge_err}")
+endif()
+file(REMOVE_RECURSE ${WORKDIR})
